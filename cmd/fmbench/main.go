@@ -1,0 +1,71 @@
+// Command fmbench regenerates the paper's evaluation: every quantitative
+// figure (3, 4, 7, 8, 9), Table 4, the headline numbers, and the
+// design-choice ablations.
+//
+// Usage:
+//
+//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations]
+//	        [-paper-exact] [-packets N] [-rounds N] [-workers N] [-csv DIR]
+//
+// Output is aligned text on stdout; -csv additionally writes one CSV per
+// curve for plotting. -paper-exact uses the paper's measurement lengths
+// (65,535 packets per bandwidth point) instead of the faster default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fm/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (all, fig3, fig4, fig7, fig8, fig9, table4, headline, ablations)")
+	paperExact := flag.Bool("paper-exact", false, "use the paper's measurement lengths (65,535 packets per point)")
+	packets := flag.Int("packets", 0, "override packets per bandwidth point")
+	rounds := flag.Int("rounds", 0, "override ping-pong rounds per latency point")
+	workers := flag.Int("workers", 0, "override harness parallelism")
+	csvDir := flag.String("csv", "", "also write CSV series into this directory")
+	flag.Parse()
+
+	opt := bench.DefaultOptions()
+	if *paperExact {
+		opt = bench.PaperExact()
+	}
+	if *packets > 0 {
+		opt.Packets = *packets
+	}
+	if *rounds > 0 {
+		opt.Rounds = *rounds
+	}
+	if *workers > 0 {
+		opt.Workers = *workers
+	}
+
+	var run []bench.Experiment
+	if *exp == "all" {
+		run = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fmbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			run = append(run, e)
+		}
+	}
+
+	for _, e := range run {
+		report := e.Run(opt)
+		report.WriteText(os.Stdout)
+		if *csvDir != "" {
+			if err := report.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "fmbench: writing CSV: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Command fmsim runs ad-hoc FM cluster scenarios: pick a traffic
+// pattern, node count, packet size and layer configuration, and get the
+// timing plus the full protocol/hardware activity breakdown.
+//
+// Examples:
+//
+//	fmsim -pattern pingpong -size 128
+//	fmsim -pattern stream -size 128 -packets 65535
+//	fmsim -pattern hotspot -nodes 5 -drain 4
+//	fmsim -pattern alltoall -nodes 8
+//	fmsim -pattern stream -sbus alldma -no-flow -trace   (vestigial layer, event trace)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/metrics"
+	"fm/internal/sim"
+)
+
+func main() {
+	pattern := flag.String("pattern", "pingpong", "pingpong | stream | hotspot | alltoall")
+	nodes := flag.Int("nodes", 2, "cluster size (senders+1 for hotspot)")
+	size := flag.Int("size", 128, "payload bytes per packet")
+	packets := flag.Int("packets", 8192, "packets per sender (stream/hotspot)")
+	rounds := flag.Int("rounds", 50, "ping-pong round trips")
+	drain := flag.Int("drain", 0, "receiver DrainLimit (hotspot; 0 = unlimited)")
+	baselineLCP := flag.Bool("baseline-lcp", false, "use the Figure 2(a) baseline LCP loop")
+	sbusMode := flag.String("sbus", "hybrid", "hybrid | alldma")
+	noFlow := flag.Bool("no-flow", false, "disable return-to-sender flow control")
+	noBuf := flag.Bool("no-buf", false, "disable buffer-management costs (vestigial layer)")
+	window := flag.Bool("window", false, "use sliding-window flow control instead of return-to-sender")
+	interpret := flag.Bool("interpret", false, "add switch() packet interpretation in the LCP")
+	trace := flag.Bool("trace", false, "dump the event trace to stderr")
+	flag.Parse()
+
+	cfg := core.DefaultConfig().WithFrame(*size)
+	cfg.Streamed = !*baselineLCP
+	cfg.Interpret = *interpret
+	if *sbusMode == "alldma" {
+		cfg.SBusMode = core.AllDMA
+	} else if *sbusMode != "hybrid" {
+		fmt.Fprintln(os.Stderr, "fmsim: -sbus must be hybrid or alldma")
+		os.Exit(2)
+	}
+	if *noFlow {
+		cfg.FlowControl = false
+		cfg.PiggybackAcks = false
+		cfg.RejectThreshold = 0
+	}
+	if *noBuf {
+		cfg.BufferMgmt = false
+	}
+	if *window {
+		cfg.Protocol = core.SlidingWindow
+		cfg.RejectThreshold = 0
+		cfg.HostRecvSlots = (*nodes)*cfg.WindowPerDest + 8
+	}
+	if *drain > 0 {
+		cfg.DrainLimit = *drain
+	}
+
+	p := cost.Default()
+	c := cluster.NewFM(*nodes, cfg, p)
+	if *trace {
+		c.K.EnableTrace(os.Stderr)
+	}
+
+	switch *pattern {
+	case "pingpong":
+		runPingPong(c, *size, *rounds)
+	case "stream":
+		runStream(c, *size, *packets)
+	case "hotspot":
+		runHotspot(c, *size, *packets)
+	case "alltoall":
+		runAllToAll(c, *size, *packets)
+	default:
+		fmt.Fprintf(os.Stderr, "fmsim: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	dumpStats(c)
+}
+
+func runPingPong(c *cluster.FM, size, rounds int) {
+	pair := metrics.Pair{
+		A:      c.EPs[0],
+		B:      c.EPs[1],
+		StartA: func(app func()) { c.CPUs[0].Start(app) },
+		StartB: func(app func()) { c.CPUs[1].Start(app) },
+		Run:    c.Run,
+	}
+	lat, err := metrics.PingPong(pair, size, rounds)
+	fail(err)
+	fmt.Printf("pingpong: %d rounds of %dB -> one-way latency %.2f us\n",
+		rounds, size, lat.Microseconds())
+}
+
+func runStream(c *cluster.FM, size, packets int) {
+	pair := metrics.Pair{
+		A:      c.EPs[0],
+		B:      c.EPs[1],
+		StartA: func(app func()) { c.CPUs[0].Start(app) },
+		StartB: func(app func()) { c.CPUs[1].Start(app) },
+		Run:    c.Run,
+	}
+	elapsed, bw, err := metrics.Stream(pair, size, packets)
+	fail(err)
+	fmt.Printf("stream: %d x %dB in %v -> %.2f MB/s (%.2f us/packet)\n",
+		packets, size, elapsed, bw, (elapsed / sim.Duration(packets)).Microseconds())
+}
+
+func runHotspot(c *cluster.FM, size, packets int) {
+	senders := len(c.EPs) - 1
+	total := senders * packets
+	got := 0
+	c.Start(0, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(int, []byte) { got++ })
+		for got < total {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+		ep.Extract()
+	})
+	for s := 1; s <= senders; s++ {
+		c.Start(s, func(ep *core.Endpoint) {
+			buf := make([]byte, size)
+			for i := 0; i < packets; i++ {
+				fail(ep.Send(0, 0, buf))
+			}
+			for ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	fail(c.Run())
+	elapsed := sim.Duration(c.K.Now())
+	fmt.Printf("hotspot: %d senders x %d x %dB -> %.2f MB/s aggregate at the receiver\n",
+		senders, packets, size, metrics.Bandwidth(size, total, elapsed))
+}
+
+func runAllToAll(c *cluster.FM, size, packets int) {
+	n := len(c.EPs)
+	per := packets / (n - 1)
+	if per == 0 {
+		per = 1
+	}
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Start(i, func(ep *core.Endpoint) {
+			ep.RegisterHandler(0, func(int, []byte) { counts[i]++ })
+			buf := make([]byte, size)
+			for k := 0; k < per; k++ {
+				for d := 1; d < n; d++ {
+					fail(ep.Send((i+d)%n, 0, buf))
+				}
+				ep.Extract()
+			}
+			for counts[i] < per*(n-1) || ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	fail(c.Run())
+	total := n * per * (n - 1)
+	fmt.Printf("alltoall: %d nodes, %d x %dB each pairwise -> %d packets in %v\n",
+		n, per, size, total, c.K.Now())
+}
+
+func dumpStats(c *cluster.FM) {
+	fmt.Printf("\nvirtual time: %v   events: %d\n", c.K.Now(), c.K.EventsRun())
+	fs := c.Fab.Stats()
+	fmt.Printf("fabric: %d packets (%d data, %d ack, %d reject, %d retx), %d wire bytes\n",
+		fs.Packets, fs.ByType[0], fs.ByType[1], fs.ByType[2], fs.ByType[3], fs.WireBytes)
+	for i, ep := range c.EPs {
+		st := ep.Stats()
+		ds := c.Devs[i].Stats()
+		bs := c.Buses[i].Stats()
+		fmt.Printf("node %d: sent=%d delivered=%d acks(s/p)=%d/%d rejects(s/r)=%d/%d retx=%d | "+
+			"lanai sent=%d recv=%d dma-batches=%d | sbus pio=%dB dma=%dB util=%.0f%%\n",
+			i, st.Sent, st.Delivered, st.AcksSent, st.AcksPiggybacked,
+			st.RejectsSent, st.RejectsReceived, st.Retransmits,
+			ds.Sent, ds.Received, ds.HostDMABatches,
+			bs.PIOBytes, bs.DMABytes, 100*c.Buses[i].Utilization())
+		if h := ep.LatencyHistogram(); h.Count() > 0 {
+			fmt.Printf("        delivery latency: %s\n", h.Summary())
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Module fm is a full reproduction of "High Performance Messaging on
+// Workstations: Illinois Fast Messages (FM) for Myrinet" (Pakin, Lauria,
+// Chien; SC 1995) as a Go library: the FM 1.0 messaging layer, the
+// simulated 1995 hardware substrate it runs on (SPARCstation hosts, SBus,
+// LANai network coprocessor, Myrinet wormhole fabric), the Myrinet API
+// comparison baseline, and a benchmark harness that regenerates every
+// quantitative figure and table in the paper's evaluation.
+//
+// Start with README.md for orientation, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The benchmarks in bench_test.go regenerate one
+// representative point per paper artifact; cmd/fmbench regenerates the
+// complete figures.
+package fm

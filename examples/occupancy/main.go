@@ -1,0 +1,94 @@
+// Occupancy: return-to-sender flow control under a hotspot.
+//
+// Six senders stream at one deliberately slow receiver. The receiver's
+// host receive queue saturates, the host starts bouncing packets back
+// (Section 4.5's rejection at the host), senders park the returns in
+// their reject queues and retransmit after a backoff — and every message
+// still arrives exactly once. The example prints the protocol's visible
+// machinery: rejects, retransmits, queue high-water marks.
+//
+// Run with: go run ./examples/occupancy
+package main
+
+import (
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+const (
+	senders   = 6
+	perSender = 400
+	size      = 96
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.CheckInvariants = true // panic on any duplicate delivery
+	cfg.HostRecvSlots = 48
+	cfg.RejectThreshold = 24 // bounce above this backlog
+	cfg.DrainLimit = 4       // the receiver consumes slowly
+	cfg.WindowSlots = 64
+	cfg.RetryDelay = 30 * sim.Microsecond
+
+	c := cluster.NewFM(senders+1, cfg, cost.Default())
+	total := senders * perSender
+	received := make(map[int]int) // per-source counts
+	got := 0
+	maxBacklog := 0
+
+	c.Start(0, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(src int, payload []byte) {
+			received[src]++
+			got++
+			ep.CPU().Advance(20 * sim.Microsecond) // slow consumer
+		})
+		for got < total {
+			ep.WaitIncoming()
+			if q := c.Devs[0].HostRecvQ.Len(); q > maxBacklog {
+				maxBacklog = q
+			}
+			ep.Extract()
+		}
+		ep.Extract() // flush trailing acks
+	})
+	for s := 1; s <= senders; s++ {
+		s := s
+		c.Start(s, func(ep *core.Endpoint) {
+			buf := make([]byte, size)
+			for i := 0; i < perSender; i++ {
+				if err := ep.Send(0, 0, buf); err != nil {
+					panic(err)
+				}
+			}
+			for ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%d senders x %d packets of %dB into one slow receiver\n", senders, perSender, size)
+	fmt.Printf("all %d packets delivered exactly once in %v virtual time\n\n", got, c.K.Now())
+
+	rs := c.EPs[0].Stats()
+	fmt.Printf("receiver: rejected %d packets back to their senders (backlog high-water %d/%d slots)\n",
+		rs.RejectsSent, maxBacklog, cfg.HostRecvSlots)
+	var retx, blocks uint64
+	for s := 1; s <= senders; s++ {
+		st := c.EPs[s].Stats()
+		retx += st.Retransmits
+		blocks += st.SendBlocks
+		fmt.Printf("  sender %d: per-source delivered %d, rejects received %d, retransmits %d\n",
+			s, received[s], st.RejectsReceived, st.Retransmits)
+	}
+	fmt.Printf("\ntotals: %d retransmits, %d window stalls; duplicates screened: %d (must be 0)\n",
+		retx, blocks, rs.Duplicates)
+	fmt.Println("sender-side reject queues bound memory: no per-sender buffers at the receiver (Section 4.5)")
+}

@@ -1,0 +1,50 @@
+// Pingpong: the paper's measurement methodology as a runnable example.
+//
+// Measures one-way latency (50 ping-pong round trips) and streaming
+// bandwidth for a set of packet sizes on the full FM layer, printing a
+// small table comparable to Figures 8/9 — including the headline points:
+// ~25 us at 4 words and ~16 MB/s at 128 bytes in the paper.
+//
+// Run with: go run ./examples/pingpong [-packets N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/metrics"
+)
+
+func pair(size int) metrics.Pair {
+	c := cluster.NewFM(2, core.DefaultConfig().WithFrame(size), cost.Default())
+	return metrics.Pair{
+		A:      c.EPs[0],
+		B:      c.EPs[1],
+		StartA: func(app func()) { c.CPUs[0].Start(app) },
+		StartB: func(app func()) { c.CPUs[1].Start(app) },
+		Run:    c.Run,
+	}
+}
+
+func main() {
+	packets := flag.Int("packets", 8192, "packets per bandwidth measurement")
+	flag.Parse()
+
+	fmt.Println("Illinois Fast Messages 1.0 — simulated SPARCstation-20 pair, 8-port Myrinet switch")
+	fmt.Printf("%8s  %16s  %16s\n", "bytes", "one-way lat (us)", "bandwidth (MB/s)")
+	for _, size := range []int{16, 32, 64, 128, 256, 512} {
+		lat, err := metrics.PingPong(pair(size), size, 50)
+		if err != nil {
+			panic(err)
+		}
+		_, bw, err := metrics.Stream(pair(size), size, *packets)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8d  %16.1f  %16.2f\n", size, lat.Microseconds(), bw)
+	}
+	fmt.Println("\npaper reference: 25us @ 16B, 32us & 16.2MB/s @ 128B, 19.6MB/s @ 512B")
+}

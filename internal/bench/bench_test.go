@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fm/internal/cost"
+	"fm/internal/myriapi"
+)
+
+// tiny returns sweep options small enough for unit tests.
+func tiny() Options {
+	o := DefaultOptions()
+	o.Sizes = []int{16, 64, 128, 256}
+	o.APISizes = []int{128, 1024, 4096}
+	o.Packets = 400
+	o.Rounds = 10
+	o.Workers = 2
+	return o
+}
+
+func TestRegistry(t *testing.T) {
+	ids := []string{"fig3", "fig4", "fig7", "fig8", "fig9", "table4", "headline", "ablations"}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+	if len(All()) != len(ids) {
+		t.Errorf("All() has %d experiments", len(All()))
+	}
+}
+
+func TestFig3ShapeClaims(t *testing.T) {
+	r := Fig3(tiny())
+	if len(r.Curves) != 3 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	base, stream, theo := r.Curves[0], r.Curves[1], r.Curves[2]
+	// Streamed strictly dominates baseline; theory dominates both.
+	for i := range base.BW {
+		if stream.BW[i].MBps < base.BW[i].MBps {
+			t.Errorf("at %dB streamed (%.1f) below baseline (%.1f)",
+				base.BW[i].N, stream.BW[i].MBps, base.BW[i].MBps)
+		}
+		if theo.BW[i].MBps < stream.BW[i].MBps {
+			t.Errorf("at %dB theory below streamed", base.BW[i].N)
+		}
+	}
+	if stream.Fit.T0 >= base.Fit.T0 {
+		t.Errorf("streamed t0 %v not below baseline %v", stream.Fit.T0, base.Fit.T0)
+	}
+	// Both approach link bandwidth asymptotically.
+	if base.Fit.RInf < 70 || base.Fit.RInf > 82 {
+		t.Errorf("baseline r_inf = %.1f, want ~76.3", base.Fit.RInf)
+	}
+}
+
+func TestFig4CrossoverClaim(t *testing.T) {
+	opt := tiny()
+	opt.Sizes = []int{16, 64, 512}
+	r := Fig4(opt)
+	hybrid, alldma := r.Curves[0], r.Curves[1]
+	// Hybrid wins short messages, all-DMA wins long ones (Section 4.3).
+	if hybrid.BW[0].MBps <= alldma.BW[0].MBps {
+		t.Errorf("at 16B hybrid (%.2f) not above all-DMA (%.2f)",
+			hybrid.BW[0].MBps, alldma.BW[0].MBps)
+	}
+	last := len(opt.Sizes) - 1
+	if alldma.BW[last].MBps <= hybrid.BW[last].MBps {
+		t.Errorf("at 512B all-DMA (%.2f) not above hybrid (%.2f)",
+			alldma.BW[last].MBps, hybrid.BW[last].MBps)
+	}
+	// Latency: hybrid lower at small sizes.
+	if hybrid.Lat[0].OneWay >= alldma.Lat[0].OneWay {
+		t.Error("hybrid latency not below all-DMA at 16B")
+	}
+}
+
+func TestFig7InterpretationClaim(t *testing.T) {
+	opt := tiny()
+	opt.Sizes = []int{16, 64, 128}
+	r := Fig7(opt)
+	buf, sw := r.Curves[1], r.Curves[2]
+	if sw.Fit.T0 <= buf.Fit.T0 {
+		t.Errorf("switch() t0 %v not above buffer-mgmt %v", sw.Fit.T0, buf.Fit.T0)
+	}
+	if sw.Fit.NHalf <= buf.Fit.NHalf {
+		t.Errorf("switch() n1/2 %.0f not above buffer-mgmt %.0f", sw.Fit.NHalf, buf.Fit.NHalf)
+	}
+}
+
+func TestFig9OrdersOfMagnitudeClaim(t *testing.T) {
+	opt := tiny()
+	r := Fig9(opt)
+	fm, api := r.Curves[0], r.Curves[1]
+	// The central claim: API n1/2 is orders of magnitude above FM's.
+	if api.Fit.NHalf < 20*fm.Fit.NHalf {
+		t.Errorf("API n1/2 (%.0f) not >> FM n1/2 (%.0f)", api.Fit.NHalf, fm.Fit.NHalf)
+	}
+	// And API latency is ~two orders above FM at short sizes.
+	if api.Lat[0].OneWay < 3*fm.Lat[0].OneWay {
+		t.Errorf("API latency %v not far above FM %v", api.Lat[0].OneWay, fm.Lat[0].OneWay)
+	}
+}
+
+func TestTheoreticalCurveMatchesAppendixA(t *testing.T) {
+	p := cost.Default()
+	c := theoreticalCurve(p, []int{16, 112}) // 112+16 header = 128 wire bytes
+	// l = 320 + 12.5*128 + 550 = 2470 ns.
+	want := 2470.0
+	if got := c.Lat[1].OneWay.Nanoseconds(); math.Abs(got-want) > 1 {
+		t.Errorf("theoretical latency = %.0f ns, want %.0f", got, want)
+	}
+}
+
+func TestRunParallelCompletesAllJobs(t *testing.T) {
+	results := make([]int, 100)
+	var jobs []func()
+	for i := range results {
+		i := i
+		jobs = append(jobs, func() { results[i] = i + 1 })
+	}
+	runParallel(7, jobs)
+	for i, v := range results {
+		if v != i+1 {
+			t.Fatalf("job %d not run", i)
+		}
+	}
+	runParallel(0, []func(){func() {}}) // workers < 1 clamps
+}
+
+func TestReportTextAndCSV(t *testing.T) {
+	opt := tiny()
+	opt.Sizes = []int{16, 64}
+	r := Fig8(opt)
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "fig8") || !strings.Contains(out, "flow ctrl") {
+		t.Errorf("text output missing content:\n%s", out)
+	}
+	dir := t.TempDir()
+	if err := r.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "fig8_*.csv"))
+	if err != nil || len(files) != len(r.Curves) {
+		t.Fatalf("csv files = %v (err %v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "bytes,latency_us,bandwidth_MBps") {
+		t.Errorf("csv header wrong: %s", data[:40])
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a b/c()1"); got != "a_b_c__1" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+func TestAPIStreamHelperAgainstImmVariant(t *testing.T) {
+	p := cost.Default()
+	_, bwImm := APIStream(myriapi.SendImm, p, 128, 50)
+	if bwImm > 3 {
+		t.Errorf("API at 128B delivers %.2f MB/s; should be ~1", bwImm)
+	}
+}

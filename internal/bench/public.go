@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/metrics"
+	"fm/internal/myriapi"
+	"fm/internal/sim"
+)
+
+// Single-point measurement helpers for the repository-level testing.B
+// benchmarks (bench_test.go): each call runs one fresh, deterministic
+// simulation and returns the paper-style result.
+
+// LANaiStream measures LANai-to-LANai bandwidth (Fig. 3) at one size.
+func LANaiStream(p *cost.Params, streamed bool, size, packets int) metrics.BWPoint {
+	return lanaiStreamPoint(p, streamed, size, packets)
+}
+
+// LANaiPingPong measures LANai-to-LANai one-way latency at one size.
+func LANaiPingPong(p *cost.Params, streamed bool, size, rounds int) metrics.LatPoint {
+	return lanaiLatPoint(p, streamed, size, rounds)
+}
+
+// FMStream measures host-to-host bandwidth through an FM configuration.
+func FMStream(cfg core.Config, p *cost.Params, size, packets int) (sim.Duration, float64) {
+	elapsed, bw, err := metrics.Stream(fmMaker(cfg, p)(size), size, packets)
+	if err != nil {
+		panic(err)
+	}
+	return elapsed, bw
+}
+
+// FMPingPong measures host-to-host one-way latency through an FM
+// configuration.
+func FMPingPong(cfg core.Config, p *cost.Params, size, rounds int) sim.Duration {
+	lat, err := metrics.PingPong(fmMaker(cfg, p)(size), size, rounds)
+	if err != nil {
+		panic(err)
+	}
+	return lat
+}
+
+// APIStream measures bandwidth through the Myrinet API comparator.
+func APIStream(v myriapi.Variant, p *cost.Params, size, packets int) (sim.Duration, float64) {
+	elapsed, bw, err := metrics.Stream(apiMaker(v, p)(size), size, packets)
+	if err != nil {
+		panic(err)
+	}
+	return elapsed, bw
+}
+
+// APIPingPong measures one-way latency through the Myrinet API.
+func APIPingPong(v myriapi.Variant, p *cost.Params, size, rounds int) sim.Duration {
+	lat, err := metrics.PingPong(apiMaker(v, p)(size), size, rounds)
+	if err != nil {
+		panic(err)
+	}
+	return lat
+}
+
+// Exported layer-stack configurations (the Table 4 rows), for benchmarks
+// and external tooling.
+
+// ConfigHybridVestigial is the Fig. 4 "streamed + hybrid" layer.
+func ConfigHybridVestigial() core.Config { return cfgHybridVestigial() }
+
+// ConfigAllDMAVestigial is the Fig. 4 "streamed + all DMA" layer.
+func ConfigAllDMAVestigial() core.Config { return cfgAllDMAVestigial() }
+
+// ConfigBufMgmt is the Fig. 7 "+ buffer management" layer.
+func ConfigBufMgmt() core.Config { return cfgBufMgmt() }
+
+// ConfigBufSwitch is the Fig. 7 "+ buffer management + switch()" layer.
+func ConfigBufSwitch() core.Config { return cfgBufSwitch() }
+
+// ConfigFullFM is the complete FM 1.0 layer (Fig. 8/9).
+func ConfigFullFM() core.Config { return cfgFullFM() }

@@ -1,0 +1,321 @@
+// Package bench regenerates every quantitative table and figure in the
+// paper's evaluation (Figures 3, 4, 7, 8, 9; Table 4; the Section 1/5
+// headline numbers) plus the ablations its Discussion calls for.
+//
+// Each experiment sweeps packet sizes across layer configurations,
+// measuring latency by 50-round ping-pong and bandwidth by streaming a
+// fixed packet count, then fits the Table 2 metrics (t0, r_inf, n1/2).
+// Individual simulation runs are deterministic and single-threaded; the
+// harness fans independent runs out over a worker pool.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"fm/internal/metrics"
+)
+
+// Options controls sweep geometry and effort.
+type Options struct {
+	// Sizes is the payload sweep for FM-level experiments (the paper
+	// plots 0-600 bytes).
+	Sizes []int
+	// APISizes extends the sweep for the Myrinet API, whose n1/2 lies in
+	// the thousands of bytes.
+	APISizes []int
+	// Packets per bandwidth stream. The paper uses 65,535; the default
+	// is smaller (converged) for quicker runs — use PaperExact for the
+	// full count.
+	Packets int
+	// Rounds per ping-pong latency measurement (paper: 50).
+	Rounds int
+	// Workers bounds harness parallelism.
+	Workers int
+}
+
+// DefaultOptions returns a sweep that reproduces every curve shape in a
+// few seconds of wall time.
+func DefaultOptions() Options {
+	return Options{
+		Sizes:    []int{4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 600},
+		APISizes: []int{16, 64, 128, 256, 512, 600, 1024, 2048, 3072, 4096},
+		Packets:  16384,
+		Rounds:   metrics.PaperPingPongRounds,
+		Workers:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// PaperExact returns the paper's measurement lengths (65,535 packets).
+func PaperExact() Options {
+	o := DefaultOptions()
+	o.Packets = metrics.PaperStreamPackets
+	return o
+}
+
+// Curve is one plotted series: a layer configuration swept over sizes.
+type Curve struct {
+	Name string
+	Lat  []metrics.LatPoint
+	BW   []metrics.BWPoint
+	Fit  metrics.Fit
+	// RefRInf, when set, is the externally supplied r_inf used for this
+	// curve's n1/2 (the API methodology, footnote 3).
+	RefRInf float64
+}
+
+// Row is one Table 4 line: measured metrics next to the paper's.
+type Row struct {
+	Name    string
+	T0us    float64
+	RInf    float64
+	NHalf   float64
+	Extrap  bool
+	PaperT0 string
+	PaperR  string
+	PaperN  string
+}
+
+// KV is one headline comparison line: a named metric, measured vs. paper.
+type KV struct {
+	Metric   string
+	Measured string
+	Paper    string
+}
+
+// Report is one regenerated figure or table.
+type Report struct {
+	ID     string
+	Title  string
+	Curves []Curve
+	Rows   []Row
+	KVs    []KV
+	Notes  []string
+}
+
+// Experiment binds an ID to its regeneration function.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Report
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "Figure 3: LANai-to-LANai performance (baseline vs. streamed vs. theoretical peak)", Fig3},
+		{"fig4", "Figure 4: Minimal host-to-host performance (hybrid vs. all-DMA SBus management)", Fig4},
+		{"fig7", "Figure 7: Host-to-host performance with buffer management (and switch() interpretation)", Fig7},
+		{"fig8", "Figure 8: Fast Messages layer performance with flow control", Fig8},
+		{"fig9", "Figure 9: Fast Messages vs. Myricom's API", Fig9},
+		{"table4", "Table 4: Summary of FM 1.0 performance data", Table4},
+		{"headline", "Headline numbers (Sections 1 and 5)", Headline},
+		{"ablations", "Ablations: frame size, flow control, DMA aggregation, ack piggybacking, hardware what-ifs", Ablations},
+	}
+}
+
+// ByID looks an experiment up; ok is false for unknown IDs.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runParallel executes the jobs over a bounded worker pool. Jobs write
+// into disjoint result slots, so no further synchronization is needed.
+func runParallel(workers int, jobs []func()) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan func())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				job()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// --- Output ---
+
+// WriteText renders the report as aligned text tables.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "\n-- %s --\n", c.Name)
+		fmt.Fprintf(w, "%8s  %14s  %14s\n", "bytes", "latency (us)", "bw (MB/s)")
+		sizes := curveSizes(c)
+		for _, n := range sizes {
+			lat, hasLat := latAt(c, n)
+			bw, hasBW := bwAt(c, n)
+			ls, bs := "-", "-"
+			if hasLat {
+				ls = fmt.Sprintf("%.2f", lat)
+			}
+			if hasBW {
+				bs = fmt.Sprintf("%.2f", bw)
+			}
+			fmt.Fprintf(w, "%8d  %14s  %14s\n", n, ls, bs)
+		}
+		if len(c.BW) >= 2 {
+			fmt.Fprintf(w, "fit: t0=%.1fus  r_inf=%.1fMB/s  n1/2=%s\n",
+				c.Fit.T0.Microseconds(), c.Fit.RInf, nhalfString(c.Fit))
+		}
+	}
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(w, "\n%-44s %10s %10s %10s   %s\n",
+			"configuration", "t0 (us)", "r_inf", "n1/2 (B)", "paper (t0 / r_inf / n1/2)")
+		for _, row := range r.Rows {
+			n := fmt.Sprintf("%.0f", row.NHalf)
+			if row.Extrap {
+				n += "*"
+			}
+			if math.IsInf(row.NHalf, 1) {
+				n = "inf"
+			}
+			fmt.Fprintf(w, "%-44s %10.1f %10.1f %10s   %s / %s / %s\n",
+				row.Name, row.T0us, row.RInf, n, row.PaperT0, row.PaperR, row.PaperN)
+		}
+		fmt.Fprintln(w, "(* = extrapolated beyond the sweep)")
+	}
+	if len(r.KVs) > 0 {
+		fmt.Fprintf(w, "\n%-46s %16s %16s\n", "metric", "measured", "paper")
+		for _, kv := range r.KVs {
+			fmt.Fprintf(w, "%-46s %16s %16s\n", kv.Metric, kv.Measured, kv.Paper)
+		}
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes one CSV per curve plus a rows.csv into dir.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		f, err := os.Create(filepath.Join(dir, r.ID+"_"+sanitize(c.Name)+".csv"))
+		if err != nil {
+			return err
+		}
+		cw := csv.NewWriter(f)
+		_ = cw.Write([]string{"bytes", "latency_us", "bandwidth_MBps"})
+		for _, n := range curveSizes(c) {
+			rec := []string{strconv.Itoa(n), "", ""}
+			if lat, ok := latAt(c, n); ok {
+				rec[1] = fmt.Sprintf("%.4f", lat)
+			}
+			if bw, ok := bwAt(c, n); ok {
+				rec[2] = fmt.Sprintf("%.4f", bw)
+			}
+			_ = cw.Write(rec)
+		}
+		cw.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if len(r.Rows) > 0 {
+		f, err := os.Create(filepath.Join(dir, r.ID+"_rows.csv"))
+		if err != nil {
+			return err
+		}
+		cw := csv.NewWriter(f)
+		_ = cw.Write([]string{"configuration", "t0_us", "rinf_MBps", "nhalf_bytes", "extrapolated",
+			"paper_t0", "paper_rinf", "paper_nhalf"})
+		for _, row := range r.Rows {
+			_ = cw.Write([]string{row.Name,
+				fmt.Sprintf("%.2f", row.T0us), fmt.Sprintf("%.2f", row.RInf),
+				fmt.Sprintf("%.0f", row.NHalf), strconv.FormatBool(row.Extrap),
+				row.PaperT0, row.PaperR, row.PaperN})
+		}
+		cw.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func nhalfString(f metrics.Fit) string {
+	if math.IsInf(f.NHalf, 1) {
+		return "inf"
+	}
+	s := fmt.Sprintf("%.0fB", f.NHalf)
+	if f.NHalfExtrapolated {
+		s += "*"
+	}
+	return s
+}
+
+func curveSizes(c Curve) []int {
+	set := map[int]bool{}
+	for _, p := range c.Lat {
+		set[p.N] = true
+	}
+	for _, p := range c.BW {
+		set[p.N] = true
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func latAt(c Curve, n int) (float64, bool) {
+	for _, p := range c.Lat {
+		if p.N == n {
+			return p.OneWay.Microseconds(), true
+		}
+	}
+	return 0, false
+}
+
+func bwAt(c Curve, n int) (float64, bool) {
+	for _, p := range c.BW {
+		if p.N == n {
+			return p.MBps, true
+		}
+	}
+	return 0, false
+}

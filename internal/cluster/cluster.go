@@ -1,0 +1,101 @@
+// Package cluster assembles complete simulated machines: hosts, SBuses,
+// LANai cards, control programs, and the Myrinet fabric joining them —
+// the paper's measurement setup of workstations on an 8-port switch
+// (Section 4.1), generalized to N nodes and multi-switch fabrics.
+package cluster
+
+import (
+	"fmt"
+
+	"fm/internal/cost"
+	"fm/internal/host"
+	"fm/internal/lanai"
+	"fm/internal/lcp"
+	"fm/internal/myrinet"
+	"fm/internal/sbus"
+	"fm/internal/sim"
+
+	"fm/internal/core"
+)
+
+// Hardware is the layer-independent machine: everything below the
+// messaging software.
+type Hardware struct {
+	K     *sim.Kernel
+	P     *cost.Params
+	Fab   *myrinet.Fabric
+	Buses []*sbus.Bus
+	CPUs  []*host.CPU
+	Devs  []*lanai.Device
+}
+
+// NewHardware builds n nodes on a single crossbar with the given port
+// count (8 for the paper's switch) and queue geometry.
+func NewHardware(n int, p *cost.Params, qc lanai.QueueConfig, ports int) *Hardware {
+	k := sim.NewKernel()
+	fab := myrinet.NewCrossbar(k, p, n, ports)
+	return attach(k, p, fab, qc)
+}
+
+// NewHardwareOnFabric wires nodes onto an existing fabric (multi-switch
+// topologies built with myrinet.NewLine).
+func NewHardwareOnFabric(k *sim.Kernel, p *cost.Params, fab *myrinet.Fabric, qc lanai.QueueConfig) *Hardware {
+	return attach(k, p, fab, qc)
+}
+
+func attach(k *sim.Kernel, p *cost.Params, fab *myrinet.Fabric, qc lanai.QueueConfig) *Hardware {
+	h := &Hardware{K: k, P: p, Fab: fab}
+	for i := 0; i < fab.Nodes(); i++ {
+		bus := sbus.New(k, p, fmt.Sprintf("sbus%d", i))
+		h.Buses = append(h.Buses, bus)
+		h.CPUs = append(h.CPUs, host.New(k, p, bus, i))
+		h.Devs = append(h.Devs, lanai.New(k, p, bus, fab, i, qc))
+	}
+	return h
+}
+
+// FM is a cluster running the Fast Messages layer on every node.
+type FM struct {
+	*Hardware
+	Cfg  core.Config
+	EPs  []*core.Endpoint
+	LCPs []*lcp.LCP
+}
+
+// NewFM builds an n-node FM cluster on a single crossbar. Ports defaults
+// to the larger of 8 and n.
+func NewFM(n int, cfg core.Config, p *cost.Params) *FM {
+	ports := 8
+	if n > ports {
+		ports = n
+	}
+	hw := NewHardware(n, p, cfg.Queues(p), ports)
+	return newFMOn(hw, cfg)
+}
+
+// NewFMOnFabric runs the FM layer on an existing fabric.
+func NewFMOnFabric(k *sim.Kernel, p *cost.Params, fab *myrinet.Fabric, cfg core.Config) *FM {
+	hw := NewHardwareOnFabric(k, p, fab, cfg.Queues(p))
+	return newFMOn(hw, cfg)
+}
+
+func newFMOn(hw *Hardware, cfg core.Config) *FM {
+	c := &FM{Hardware: hw, Cfg: cfg}
+	for i := range hw.Devs {
+		c.EPs = append(c.EPs, core.New(hw.CPUs[i], hw.Devs[i], cfg, hw.P))
+		c.LCPs = append(c.LCPs, lcp.Start(hw.Devs[i], cfg.LCPOptions(hw.P)))
+	}
+	return c
+}
+
+// Start launches app as node id's application process.
+func (c *FM) Start(id int, app func(ep *core.Endpoint)) {
+	ep := c.EPs[id]
+	c.CPUs[id].Start(func() { app(ep) })
+}
+
+// Run executes the simulation to quiescence.
+func (c *Hardware) Run() error { return c.K.RunAll() }
+
+// RunFor executes the simulation up to the given virtual time horizon.
+func (c *Hardware) RunFor(d sim.Duration) error { return c.K.Run(sim.Time(d)) }

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+)
+
+func TestNewFMWiring(t *testing.T) {
+	c := NewFM(4, core.DefaultConfig(), cost.Default())
+	if len(c.EPs) != 4 || len(c.Devs) != 4 || len(c.CPUs) != 4 || len(c.Buses) != 4 {
+		t.Fatal("incomplete wiring")
+	}
+	for i, ep := range c.EPs {
+		if ep.NodeID() != i {
+			t.Errorf("endpoint %d has id %d", i, ep.NodeID())
+		}
+	}
+	if c.Fab.Nodes() != 4 {
+		t.Errorf("fabric nodes = %d", c.Fab.Nodes())
+	}
+}
+
+func TestLargeClusterGetsEnoughPorts(t *testing.T) {
+	// 16 nodes exceed the default 8-port switch; NewFM must widen it.
+	c := NewFM(16, core.DefaultConfig(), cost.Default())
+	done := false
+	c.Start(15, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(int, []byte) { done = true })
+		for !done {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	c.Start(0, func(ep *core.Endpoint) { ep.Send4(15, 0, 1, 2, 3, 4) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("cross-cluster send failed")
+	}
+}
+
+// TestFMOverMultiSwitchFabric: the full layer works across a 3-switch
+// line with multi-hop source routing, and latency grows with hop count.
+func TestFMOverMultiSwitchFabric(t *testing.T) {
+	p := cost.Default()
+	cfg := core.DefaultConfig()
+	k := sim.NewKernel()
+	fab := myrinet.NewLine(k, p, 3, 2, 8) // nodes 0,1 | 2,3 | 4,5
+	c := NewFMOnFabric(k, p, fab, cfg)
+
+	oneWay := func(a, b, rounds int) sim.Duration {
+		got := 0
+		var start, end sim.Time
+		c.Start(b, func(ep *core.Endpoint) {
+			echoed := 0
+			ep.RegisterHandler(0, func(src int, payload []byte) {
+				echoed++
+				ep.Send(src, 0, payload)
+			})
+			for echoed < rounds {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+		c.Start(a, func(ep *core.Endpoint) {
+			ep.RegisterHandler(0, func(int, []byte) { got++ })
+			start = ep.Now()
+			buf := make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				ep.Send(b, 0, buf)
+				for got < i+1 {
+					ep.WaitIncoming()
+					ep.Extract()
+				}
+			}
+			end = ep.Now()
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end.Sub(start) / sim.Duration(2*rounds)
+	}
+
+	near := oneWay(0, 1, 20) // same switch: 1 hop
+	// Fresh fabric for the far measurement (apps finished; reuse nodes 4,5
+	// on a new cluster to keep state clean).
+	k2 := sim.NewKernel()
+	fab2 := myrinet.NewLine(k2, p, 3, 2, 8)
+	c2 := NewFMOnFabric(k2, p, fab2, cfg)
+	cOld := c
+	c = c2
+	far := oneWay(0, 5, 20) // across all three switches
+	c = cOld
+
+	if far <= near {
+		t.Errorf("3-hop latency (%v) not above 1-hop (%v)", far, near)
+	}
+	// The minimum gap is two extra switch latencies; software noise may
+	// add more, but never less.
+	if far-near < 2*p.SwitchLatency {
+		t.Errorf("hop gap %v below 2 switch latencies", far-near)
+	}
+}
+
+func TestRunForHorizon(t *testing.T) {
+	c := NewFM(2, core.DefaultConfig(), cost.Default())
+	c.Start(0, func(ep *core.Endpoint) {
+		for i := 0; ; i++ {
+			ep.CPU().Advance(10 * sim.Microsecond)
+		}
+	})
+	if err := c.RunFor(sim.Us(100)); err != nil {
+		t.Fatal(err)
+	}
+	if c.K.Now() > sim.Time(sim.Us(100)) {
+		t.Errorf("clock ran past the horizon: %v", c.K.Now())
+	}
+}

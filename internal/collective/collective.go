@@ -1,0 +1,294 @@
+// Package collective implements MPI-style collective operations over FM
+// handlers — the communication-library use case FM was designed to carry
+// ("FM is designed to support efficient implementation of a variety of
+// communication libraries"; MPI is the paper's first target, Section 7).
+//
+// Algorithms are the classic binomial/dissemination ones, so every
+// operation completes in O(log N) communication rounds of short messages
+// — exactly the traffic pattern FM's low n1/2 is built for. All
+// collectives must be invoked in the same order on every member (the
+// usual MPI constraint); successive operations are separated by an
+// internal phase number so a fast node's next-phase messages cannot
+// confuse a slow one.
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fm/internal/core"
+)
+
+// Op combines two reduction operands.
+type Op func(a, b float64) float64
+
+// Built-in reduction operators.
+var (
+	Sum  Op = func(a, b float64) float64 { return a + b }
+	Prod Op = func(a, b float64) float64 { return a * b }
+	Max  Op = math.Max
+	Min  Op = math.Min
+)
+
+// header is [phase uint32][tag uint32][meta uint32]; meta carries the
+// total segment count for multi-frame payloads.
+const headerBytes = 12
+
+// msgKey identifies one expected message within the collective state
+// machine.
+type msgKey struct {
+	phase uint32
+	tag   uint32
+	src   int
+}
+
+// Comm is one node's membership in a collective group spanning nodes
+// 0..size-1, bound to one FM handler id.
+type Comm struct {
+	ep      *core.Endpoint
+	size    int
+	handler int
+	phase   uint32
+	inbox   map[msgKey]inboxEntry
+	maxData int
+}
+
+type inboxEntry struct {
+	meta uint32
+	body []byte
+}
+
+// New joins the group. Every node must use the same size and handler id.
+func New(ep *core.Endpoint, size, handler int) *Comm {
+	c := &Comm{
+		ep:      ep,
+		size:    size,
+		handler: handler,
+		inbox:   make(map[msgKey]inboxEntry),
+		maxData: ep.Config().FramePayload - headerBytes,
+	}
+	if c.maxData <= 0 {
+		panic("collective: frame too small for the collective header")
+	}
+	if ep.NodeID() >= size {
+		panic(fmt.Sprintf("collective: node %d outside group of %d", ep.NodeID(), size))
+	}
+	ep.RegisterHandler(handler, c.onMessage)
+	return c
+}
+
+// Rank returns this member's rank (its node id).
+func (c *Comm) Rank() int { return c.ep.NodeID() }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.size }
+
+func (c *Comm) onMessage(src int, payload []byte) {
+	if len(payload) < headerBytes {
+		panic("collective: runt message")
+	}
+	key := msgKey{
+		phase: binary.LittleEndian.Uint32(payload[0:]),
+		tag:   binary.LittleEndian.Uint32(payload[4:]),
+		src:   src,
+	}
+	if _, dup := c.inbox[key]; dup {
+		panic(fmt.Sprintf("collective: duplicate message %+v", key))
+	}
+	c.inbox[key] = inboxEntry{
+		meta: binary.LittleEndian.Uint32(payload[8:]),
+		body: append([]byte(nil), payload[headerBytes:]...),
+	}
+}
+
+// send emits one collective message.
+func (c *Comm) send(dst int, tag, meta uint32, body []byte) {
+	frame := make([]byte, headerBytes+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], c.phase)
+	binary.LittleEndian.PutUint32(frame[4:], tag)
+	binary.LittleEndian.PutUint32(frame[8:], meta)
+	copy(frame[headerBytes:], body)
+	if err := c.ep.Send(dst, c.handler, frame); err != nil {
+		panic(fmt.Sprintf("collective: send to %d: %v", dst, err))
+	}
+}
+
+// recv pumps the layer until the keyed message arrives, then removes and
+// returns it.
+func (c *Comm) recv(src int, tag uint32) (uint32, []byte) {
+	key := msgKey{phase: c.phase, tag: tag, src: src}
+	for {
+		if e, ok := c.inbox[key]; ok {
+			delete(c.inbox, key)
+			return e.meta, e.body
+		}
+		c.ep.WaitIncoming()
+		c.ep.Extract()
+	}
+}
+
+// sendChunked segments body across frames under (tagBase + segment).
+func (c *Comm) sendChunked(dst int, tagBase uint32, body []byte) {
+	segs := uint32(1)
+	if len(body) > 0 {
+		segs = uint32((len(body) + c.maxData - 1) / c.maxData)
+	}
+	for s := uint32(0); s < segs; s++ {
+		lo := int(s) * c.maxData
+		hi := lo + c.maxData
+		if hi > len(body) {
+			hi = len(body)
+		}
+		c.send(dst, tagBase+s, segs, body[lo:hi])
+	}
+}
+
+// recvChunked reassembles a sendChunked transmission.
+func (c *Comm) recvChunked(src int, tagBase uint32) []byte {
+	segs, first := c.recv(src, tagBase)
+	body := append([]byte(nil), first...)
+	for s := uint32(1); s < segs; s++ {
+		_, b := c.recv(src, tagBase+s)
+		body = append(body, b...)
+	}
+	return body
+}
+
+// Barrier blocks until every member has entered it (dissemination
+// algorithm: ceil(log2 N) rounds of one short message each).
+func (c *Comm) Barrier() {
+	c.phase++
+	me, n := c.Rank(), c.size
+	for round, dist := uint32(0), 1; dist < n; round, dist = round+1, dist*2 {
+		c.send((me+dist)%n, round, 0, nil)
+		c.recv((me-dist+n)%n, round)
+	}
+}
+
+// Broadcast distributes root's data to every member along a binomial
+// tree; each member returns its copy.
+func (c *Comm) Broadcast(root int, data []byte) []byte {
+	c.phase++
+	me, n := c.Rank(), c.size
+	rel := (me - root + n) % n
+
+	// Receive from the parent (non-roots).
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (me - mask + n) % n
+			data = c.recvChunked(parent, 0)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			c.sendChunked((me+mask)%n, 0, data)
+		}
+		mask >>= 1
+	}
+	return append([]byte(nil), data...)
+}
+
+// Reduce combines each member's vector element-wise with op along a
+// binomial tree; the result is returned at root (nil elsewhere). All
+// members must pass vectors of the same length.
+func (c *Comm) Reduce(root int, vals []float64, op Op) []float64 {
+	c.phase++
+	me, n := c.Rank(), c.size
+	rel := (me - root + n) % n
+	acc := append([]float64(nil), vals...)
+
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask == 0 {
+			child := rel | mask
+			if child < n {
+				theirs := decodeFloats(c.recvChunked((child+root)%n, 0))
+				if len(theirs) != len(acc) {
+					panic("collective: reduce length mismatch")
+				}
+				for i := range acc {
+					acc[i] = op(acc[i], theirs[i])
+				}
+			}
+		} else {
+			parent := ((rel &^ mask) + root) % n
+			c.sendChunked(parent, 0, encodeFloats(acc))
+			return nil
+		}
+	}
+	return acc
+}
+
+// Allreduce gives every member the reduction result (reduce to rank 0,
+// then broadcast).
+func (c *Comm) Allreduce(vals []float64, op Op) []float64 {
+	res := c.Reduce(0, vals, op)
+	var wire []byte
+	if c.Rank() == 0 {
+		wire = encodeFloats(res)
+	}
+	return decodeFloats(c.Broadcast(0, wire))
+}
+
+// Gather collects every member's data at root, indexed by rank (root's
+// own entry included). Non-roots return nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	c.phase++
+	me, n := c.Rank(), c.size
+	if me != root {
+		c.sendChunked(root, 0, data)
+		return nil
+	}
+	out := make([][]byte, n)
+	out[me] = append([]byte(nil), data...)
+	for src := 0; src < n; src++ {
+		if src != me {
+			out[src] = c.recvChunked(src, 0)
+		}
+	}
+	return out
+}
+
+// AllToAll performs a personalized exchange: member i's data[j] arrives
+// as member j's result[i].
+func (c *Comm) AllToAll(data [][]byte) [][]byte {
+	if len(data) != c.size {
+		panic("collective: AllToAll needs one buffer per member")
+	}
+	c.phase++
+	me, n := c.Rank(), c.size
+	out := make([][]byte, n)
+	out[me] = append([]byte(nil), data[me]...)
+	// Stagger destinations so the switch sees a rotating permutation
+	// rather than N-1 senders converging on one port at once.
+	for step := 1; step < n; step++ {
+		dst := (me + step) % n
+		c.sendChunked(dst, uint32(me)<<16, data[dst])
+	}
+	for step := 1; step < n; step++ {
+		src := (me - step + n) % n
+		out[src] = c.recvChunked(src, uint32(src)<<16)
+	}
+	return out
+}
+
+func encodeFloats(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

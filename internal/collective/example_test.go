@@ -1,0 +1,36 @@
+package collective_test
+
+import (
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/collective"
+	"fm/internal/core"
+	"fm/internal/cost"
+)
+
+// Four nodes sum their ranks with one Allreduce over FM short messages.
+func ExampleComm_Allreduce() {
+	const nodes = 4
+	c := cluster.NewFM(nodes, core.DefaultConfig(), cost.Default())
+
+	results := make([]float64, nodes)
+	for rank := 0; rank < nodes; rank++ {
+		rank := rank
+		c.Start(rank, func(ep *core.Endpoint) {
+			comm := collective.New(ep, nodes, 0)
+			sum := comm.Allreduce([]float64{float64(rank)}, collective.Sum)
+			results[rank] = sum[0]
+			for ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(results)
+	// Output:
+	// [6 6 6 6]
+}

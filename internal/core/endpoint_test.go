@@ -1,0 +1,452 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+// TestSendExtractDeliversPayload: basic two-node send/extract round with
+// payload integrity.
+func TestSendExtractDeliversPayload(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CheckInvariants = true
+	c := cluster.NewFM(2, cfg, cost.Default())
+
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	var got []byte
+	var gotSrc int
+	done := false
+
+	c.Start(1, func(ep *core.Endpoint) {
+		ep.RegisterHandler(7, func(src int, p []byte) {
+			gotSrc = src
+			got = append([]byte(nil), p...)
+			done = true
+		})
+		for !done {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		if err := ep.Send(1, 7, payload); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("message not delivered")
+	}
+	if gotSrc != 0 || !bytes.Equal(got, payload) {
+		t.Fatalf("delivered src=%d payload mismatch", gotSrc)
+	}
+}
+
+// TestSend4Words: FM_send_4 round trip of the four words.
+func TestSend4Words(t *testing.T) {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+	var w [4]uint32
+	done := false
+	c.Start(1, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(src int, p []byte) {
+			w[0], w[1], w[2], w[3] = core.DecodeWords(p)
+			done = true
+		})
+		for !done {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		ep.Send4(1, 0, 0xdead, 0xbeef, 42, 0xffffffff)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w != [4]uint32{0xdead, 0xbeef, 42, 0xffffffff} {
+		t.Fatalf("words = %x", w)
+	}
+}
+
+// TestOversizeSendRejected: FM_send takes at most one frame.
+func TestOversizeSendRejected(t *testing.T) {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+	c.Start(0, func(ep *core.Endpoint) {
+		if err := ep.Send(1, 0, make([]byte, 129)); err == nil {
+			t.Error("expected error for 129-byte payload on 128-byte frames")
+		}
+		if err := ep.Send(0, 0, []byte{1}); err == nil {
+			t.Error("expected error for self-send")
+		}
+		if err := ep.Send(1, -1, []byte{1}); err == nil {
+			t.Error("expected error for bad handler")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyPacketsExactlyOnce: a 2000-packet stream through the full FM
+// layer (windowing, acks, counter sync) delivers every packet exactly
+// once with intact contents.
+func TestManyPacketsExactlyOnce(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CheckInvariants = true
+	c := cluster.NewFM(2, cfg, cost.Default())
+	const n = 2000
+
+	recvCount := 0
+	seen := make(map[uint32]bool)
+	c.Start(1, func(ep *core.Endpoint) {
+		ep.RegisterHandler(1, func(src int, p []byte) {
+			w0, _, _, _ := core.DecodeWords(p)
+			if seen[w0] {
+				t.Errorf("duplicate message %d", w0)
+			}
+			seen[w0] = true
+			recvCount++
+		})
+		for recvCount < n {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		for i := 0; i < n; i++ {
+			ep.Send4(1, 1, uint32(i), 0, 0, 0)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvCount != n {
+		t.Fatalf("received %d/%d", recvCount, n)
+	}
+	st := c.EPs[0].Stats()
+	if st.Duplicates != 0 {
+		t.Errorf("duplicates = %d", st.Duplicates)
+	}
+}
+
+// TestWindowLimitsOutstanding: the sender never exceeds WindowSlots
+// unacknowledged packets (the reject-region reservation invariant).
+func TestWindowLimitsOutstanding(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.WindowSlots = 8
+	cfg.AckBatch = 4
+	c := cluster.NewFM(2, cfg, cost.Default())
+	const n = 100
+
+	recv := 0
+	c.Start(1, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(int, []byte) { recv++ })
+		for recv < n {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	maxOut := 0
+	c.Start(0, func(ep *core.Endpoint) {
+		for i := 0; i < n; i++ {
+			ep.Send4(1, 0, uint32(i), 0, 0, 0)
+			if o := ep.Outstanding(); o > maxOut {
+				maxOut = o
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != n {
+		t.Fatalf("received %d", recv)
+	}
+	if maxOut > 8 {
+		t.Errorf("outstanding reached %d, window is 8", maxOut)
+	}
+	if c.EPs[0].Stats().SendBlocks == 0 {
+		t.Error("a 100-packet burst over an 8-slot window must block sometimes")
+	}
+}
+
+// TestAcksDrainOutstanding: after quiescence the sender's outstanding set
+// is empty — acks (batched or flushed) released every slot.
+func TestAcksDrainOutstanding(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := cluster.NewFM(2, cfg, cost.Default())
+	const n = 37 // deliberately not a multiple of AckBatch
+
+	recv := 0
+	c.Start(1, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(int, []byte) { recv++ })
+		for recv < n {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+		// Final extract sweeps to flush trailing acks.
+		ep.Extract()
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		for i := 0; i < n; i++ {
+			ep.Send4(1, 0, uint32(i), 0, 0, 0)
+		}
+		// Wait for the trailing acks.
+		for ep.Outstanding() > 0 {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EPs[0].Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d after quiescence", got)
+	}
+	st1 := c.EPs[1].Stats()
+	if st1.SeqsAcked != n {
+		t.Errorf("receiver acked %d seqs, want %d", st1.SeqsAcked, n)
+	}
+}
+
+// TestPiggybackOnBidirectionalTraffic: in a ping-pong, acks ride on the
+// reply data packets, so standalone acks stay rare.
+func TestPiggybackOnBidirectionalTraffic(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := cluster.NewFM(2, cfg, cost.Default())
+	const rounds = 50
+
+	c.Start(1, func(ep *core.Endpoint) {
+		n := 0
+		ep.RegisterHandler(0, func(src int, p []byte) {
+			n++
+			ep.Send(0, 0, p) // echo
+		})
+		for n < rounds {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		got := 0
+		ep.RegisterHandler(0, func(int, []byte) { got++ })
+		buf := make([]byte, 64)
+		for i := 0; i < rounds; i++ {
+			ep.Send(1, 0, buf)
+			prev := got
+			for got == prev {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.EPs[1].Stats()
+	if st.AcksPiggybacked == 0 {
+		t.Error("expected piggybacked acks on echo traffic")
+	}
+	if st.AcksSent > st.AcksPiggybacked {
+		t.Errorf("standalone acks (%d) dominate piggybacked (%d)",
+			st.AcksSent, st.AcksPiggybacked)
+	}
+}
+
+// TestRejectionAndRetransmission: a slow consumer (tiny DrainLimit, small
+// queues, low threshold) forces return-to-sender rejects; every message
+// still arrives exactly once, proving the retransmission path.
+func TestRejectionAndRetransmission(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CheckInvariants = true
+	cfg.HostRecvSlots = 32
+	cfg.RejectThreshold = 8
+	cfg.DrainLimit = 2
+	cfg.WindowSlots = 64
+	cfg.AckBatch = 4
+	cfg.RetryDelay = 20 * sim.Microsecond
+	c := cluster.NewFM(2, cfg, cost.Default())
+	const n = 300
+
+	recv := 0
+	seen := make(map[uint32]bool)
+	c.Start(1, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(src int, p []byte) {
+			w0, _, _, _ := core.DecodeWords(p)
+			if seen[w0] {
+				t.Errorf("duplicate %d", w0)
+			}
+			seen[w0] = true
+			recv++
+			ep.CPU().Advance(30 * sim.Microsecond) // slow consumer
+		})
+		for recv < n {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+		ep.Extract()
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		for i := 0; i < n; i++ {
+			ep.Send4(1, 0, uint32(i), 0, 0, 0)
+		}
+		for ep.Outstanding() > 0 {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recv != n {
+		t.Fatalf("received %d/%d", recv, n)
+	}
+	sst := c.EPs[0].Stats()
+	rst := c.EPs[1].Stats()
+	if rst.RejectsSent == 0 {
+		t.Error("slow consumer produced no rejects; threshold too lax for the test")
+	}
+	if sst.RejectsReceived != rst.RejectsSent {
+		t.Errorf("rejects sent %d != received %d", rst.RejectsSent, sst.RejectsReceived)
+	}
+	if sst.Retransmits == 0 {
+		t.Error("no retransmissions despite rejects")
+	}
+	if sst.Duplicates != 0 || rst.Duplicates != 0 {
+		t.Error("duplicates detected")
+	}
+}
+
+// TestVestigialConfigsStillDeliver: the Fig. 4 layers (no buffer
+// management costs, no flow control) still move data correctly in both
+// SBus modes.
+func TestVestigialConfigsStillDeliver(t *testing.T) {
+	for _, mode := range []core.SBusMode{core.Hybrid, core.AllDMA} {
+		mode := mode
+		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
+			cfg := core.VestigialConfig(mode)
+			c := cluster.NewFM(2, cfg, cost.Default())
+			const n = 200
+			recv := 0
+			c.Start(1, func(ep *core.Endpoint) {
+				ep.RegisterHandler(0, func(int, []byte) { recv++ })
+				for recv < n {
+					ep.WaitIncoming()
+					ep.Extract()
+				}
+			})
+			c.Start(0, func(ep *core.Endpoint) {
+				buf := make([]byte, 128)
+				for i := 0; i < n; i++ {
+					if err := ep.Send(1, 0, buf); err != nil {
+						t.Errorf("send %d: %v", i, err)
+					}
+				}
+			})
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if recv != n {
+				t.Fatalf("received %d/%d", recv, n)
+			}
+		})
+	}
+}
+
+// TestAllDMAUsesMemcpyNotPIO: the two SBus architectures exercise
+// different buses paths (Fig. 4's point): all-DMA moves payload bytes by
+// DMA, hybrid by programmed I/O.
+func TestAllDMAUsesMemcpyNotPIO(t *testing.T) {
+	run := func(mode core.SBusMode) (pio, dma uint64) {
+		cfg := core.VestigialConfig(mode)
+		c := cluster.NewFM(2, cfg, cost.Default())
+		recv := 0
+		c.Start(1, func(ep *core.Endpoint) {
+			ep.RegisterHandler(0, func(int, []byte) { recv++ })
+			for recv < 50 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+		c.Start(0, func(ep *core.Endpoint) {
+			for i := 0; i < 50; i++ {
+				ep.Send(1, 0, make([]byte, 128))
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := c.Buses[0].Stats()
+		return st.PIOBytes, st.DMABytes
+	}
+	pio, _ := run(core.Hybrid)
+	if pio == 0 {
+		t.Error("hybrid moved no PIO bytes")
+	}
+	pioD, dmaD := run(core.AllDMA)
+	if pioD != 0 {
+		t.Errorf("all-DMA used %d PIO bytes", pioD)
+	}
+	if dmaD == 0 {
+		t.Error("all-DMA moved no DMA bytes on the sender bus")
+	}
+}
+
+// TestEncodeDecodeWords round-trips.
+func TestEncodeDecodeWords(t *testing.T) {
+	p := core.EncodeWords(1, 2, 3, 4)
+	if len(p) != 16 {
+		t.Fatalf("len %d", len(p))
+	}
+	a, b, cc, d := core.DecodeWords(p)
+	if a != 1 || b != 2 || cc != 3 || d != 4 {
+		t.Fatal("round trip failed")
+	}
+}
+
+// TestDeterministicEndToEnd: two identical full-stack runs produce
+// identical event counts and finish times.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() (uint64, sim.Time) {
+		cfg := core.DefaultConfig()
+		c := cluster.NewFM(2, cfg, cost.Default())
+		recv := 0
+		c.Start(1, func(ep *core.Endpoint) {
+			ep.RegisterHandler(0, func(src int, p []byte) {
+				recv++
+				if recv%3 == 0 {
+					ep.Send(0, 0, p[:8])
+				}
+			})
+			for recv < 500 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+		c.Start(0, func(ep *core.Endpoint) {
+			ep.RegisterHandler(0, func(int, []byte) {})
+			for i := 0; i < 500; i++ {
+				ep.Send(1, 0, make([]byte, 96))
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.K.EventsRun(), c.K.Now()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", e1, t1, e2, t2)
+	}
+}

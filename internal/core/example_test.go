@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+)
+
+// The complete Table 1 API: FM_send_4, FM_send, FM_extract, on a
+// two-workstation Myrinet cluster.
+func Example() {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+
+	got := 0
+	c.Start(1, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(src int, payload []byte) {
+			w0, w1, w2, w3 := core.DecodeWords(payload)
+			fmt.Printf("four words from node %d: %d %d %d %d\n", src, w0, w1, w2, w3)
+			got++
+		})
+		ep.RegisterHandler(1, func(src int, payload []byte) {
+			fmt.Printf("message from node %d: %s\n", src, payload)
+			got++
+		})
+		for got < 2 {
+			ep.WaitIncoming()
+			ep.Extract() // FM_extract: dequeue and run handlers
+		}
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		ep.Send4(1, 0, 1, 2, 3, 4)                // FM_send_4
+		_ = ep.Send(1, 1, []byte("one FM frame")) // FM_send
+	})
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// four words from node 0: 1 2 3 4
+	// message from node 0: one FM frame
+}
+
+// Handlers may send: an echo service in one handler, as in Active
+// Messages — but without FM imposing request-reply coupling.
+func ExampleEndpoint_Send() {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+
+	c.Start(1, func(ep *core.Endpoint) {
+		served := false
+		ep.RegisterHandler(0, func(src int, payload []byte) {
+			_ = ep.Send(src, 0, append(payload, '!')) // reply from inside the handler
+			served = true
+		})
+		for !served {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		ep.RegisterHandler(0, func(src int, payload []byte) {
+			fmt.Printf("echoed: %s\n", payload)
+		})
+		_ = ep.Send(1, 0, []byte("hello"))
+		for ep.Stats().Delivered == 0 {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// echoed: hello!
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+)
+
+// consumedSyncBatch is how many consumed packets the host accumulates
+// before refreshing the LANai's consumption register with an SBus write.
+const consumedSyncBatch = 8
+
+// Extract is FM_extract: dequeue and process one or more received
+// messages, running their handlers on the calling host process (Table 1).
+// It returns the number of data packets delivered to handlers. Because
+// the LANai drains the network without host involvement, failing to call
+// Extract never blocks the network (Section 3.1) — it only fills queues.
+func (ep *Endpoint) Extract() int {
+	ep.cpu.Advance(ep.p.HostExtractPoll)
+	delivered := 0
+	for !ep.dev.HostRecvQ.Empty() {
+		if ep.cfg.DrainLimit > 0 && delivered >= ep.cfg.DrainLimit {
+			break
+		}
+		pkt := ep.popRecv()
+		if ep.process(pkt) {
+			delivered++
+		}
+	}
+
+	if ep.cfg.FlowControl {
+		ep.shedOverload()
+		ep.retryRejected()
+		ep.flushAcks()
+	}
+	ep.syncConsumed()
+	return delivered
+}
+
+// WaitIncoming blocks the host process until there is host work: a
+// packet in the host receive queue, or a rejected packet whose
+// retransmission backoff has expired. It is a driver convenience
+// standing in for a poll loop; the detection cost is charged by the
+// Extract call that follows.
+func (ep *Endpoint) WaitIncoming() {
+	for ep.dev.HostRecvQ.Empty() && !ep.retryDue() {
+		ep.cpu.Wait(ep.dev.HostRecvAvail)
+	}
+}
+
+// retryDue reports whether the reject queue holds a packet ready to be
+// retransmitted.
+func (ep *Endpoint) retryDue() bool {
+	return ep.cfg.FlowControl && !ep.rejectQ.Empty() &&
+		ep.rejectQ.Peek().retryAt <= ep.Now()
+}
+
+// HasIncoming reports whether Extract would find packets.
+func (ep *Endpoint) HasIncoming() bool { return !ep.dev.HostRecvQ.Empty() }
+
+// popRecv dequeues one packet from the host receive queue, charging the
+// per-packet host costs.
+func (ep *Endpoint) popRecv() *myrinet.Packet {
+	pkt := ep.dev.HostRecvQ.Pop()
+	ep.consumed++
+	ep.cpu.Advance(ep.p.HostExtractPacket)
+	if ep.cfg.BufferMgmt {
+		ep.cpu.Advance(ep.p.HostBufMgmtRecv)
+	}
+	return pkt
+}
+
+// process interprets one packet on the host (the LANai does no
+// interpretation; "this simple LCP leaves packet interpretation and
+// sorting to the host", Section 4.4). It reports whether a data packet
+// was delivered to a handler.
+func (ep *Endpoint) process(pkt *myrinet.Packet) bool {
+	// Piggybacked acknowledgements ride on any packet type.
+	if len(pkt.Acks) > 0 {
+		ep.processAcks(pkt.Acks)
+	}
+	switch pkt.Type {
+	case myrinet.Ack:
+		return false
+	case myrinet.Reject:
+		// One of our packets came back: park it for retransmission. The
+		// reject queue has a reserved slot for every outstanding packet,
+		// so this push cannot overflow — that is the deadlock-freedom
+		// argument of Section 4.5.
+		ep.cpu.Advance(ep.p.HostFlowControlRecv)
+		ep.stats.RejectsReceived++
+		retx := &myrinet.Packet{
+			Src:         ep.NodeID(),
+			Dst:         pkt.Src,
+			Type:        myrinet.Retransmit,
+			Handler:     pkt.Handler,
+			Seq:         pkt.Seq,
+			Payload:     pkt.Payload,
+			HeaderBytes: ep.p.FMHeaderBytes,
+			Retries:     pkt.Retries + 1,
+			Injected:    pkt.Injected,
+		}
+		ep.rejectQ.Push(rejectedEntry{pkt: retx, retryAt: ep.Now().Add(ep.cfg.RetryDelay)})
+		// Arm a wakeup at the retry deadline: a host parked in
+		// WaitIncoming with no inbound traffic must still come back to
+		// retransmit (the stand-in for FM's periodic host polling).
+		ep.dev.K.After(ep.cfg.RetryDelay+sim.Microsecond, func() {
+			ep.dev.HostRecvAvail.Pulse()
+		})
+		return false
+	case myrinet.Data, myrinet.Retransmit:
+		ep.deliver(pkt)
+		return true
+	default:
+		panic(fmt.Sprintf("fm: unexpected packet type %v on node %d", pkt.Type, ep.NodeID()))
+	}
+}
+
+// deliver records flow-control state and runs the handler.
+func (ep *Endpoint) deliver(pkt *myrinet.Packet) {
+	if ep.cfg.FlowControl {
+		ep.cpu.Advance(ep.p.HostFlowControlRecv)
+		if ep.isDuplicate(pkt) {
+			ep.stats.Duplicates++
+			if ep.cfg.CheckInvariants {
+				panic(fmt.Sprintf("fm: duplicate delivery src=%d seq=%d", pkt.Src, pkt.Seq))
+			}
+			return
+		}
+		ep.pendingAcks[pkt.Src] = append(ep.pendingAcks[pkt.Src], pkt.Seq)
+		if len(ep.pendingAcks[pkt.Src]) >= ep.cfg.AckBatch {
+			ep.sendAck(pkt.Src)
+		}
+	}
+	h := ep.handlers[pkt.Handler]
+	if h == nil {
+		panic(fmt.Sprintf("fm: no handler %d registered on node %d", pkt.Handler, ep.NodeID()))
+	}
+	ep.cpu.MemRead(len(pkt.Payload))
+	ep.cpu.Advance(ep.p.HostHandlerDispatch)
+	ep.stats.Delivered++
+	if pkt.Injected > 0 {
+		ep.latency.Record(ep.Now().Sub(pkt.Injected))
+	}
+	h(pkt.Src, pkt.Payload)
+}
+
+// isDuplicate screens (src, seq) pairs. Under the protocol duplicates are
+// impossible (a packet is either accepted or rejected, never both, and
+// the network is reliable); the screen exists to verify that invariant.
+func (ep *Endpoint) isDuplicate(pkt *myrinet.Packet) bool {
+	m := ep.seen[pkt.Src]
+	if m == nil {
+		m = make(map[uint64]bool)
+		ep.seen[pkt.Src] = m
+	}
+	if m[pkt.Seq] {
+		return true
+	}
+	m[pkt.Seq] = true
+	return false
+}
+
+// processAcks releases outstanding slots for acknowledged sequences.
+func (ep *Endpoint) processAcks(ranges []myrinet.SeqRange) {
+	ep.cpu.Advance(ep.p.HostFlowControlRecv)
+	for _, r := range ranges {
+		for s := r.Lo; s <= r.Hi; s++ {
+			if dst, ok := ep.outstanding[s]; ok {
+				delete(ep.outstanding, s)
+				ep.outPerDst[dst]--
+			}
+		}
+	}
+}
+
+// shedOverload implements host-side rejection: if, after draining its
+// budget, the host receive queue backlog still exceeds the threshold,
+// excess data packets are returned to their senders instead of being
+// buffered without bound (Section 4.5's return-to-sender receiver side).
+func (ep *Endpoint) shedOverload() {
+	if ep.cfg.RejectThreshold <= 0 || ep.cfg.Protocol != ReturnToSender {
+		return
+	}
+	for ep.dev.HostRecvQ.Len() > ep.cfg.RejectThreshold {
+		pkt := ep.popRecv()
+		switch pkt.Type {
+		case myrinet.Data, myrinet.Retransmit:
+			// Consume piggybacked acknowledgements before bouncing: the
+			// sender cleared them when it attached them, so dropping
+			// them here would leak outstanding slots forever.
+			if len(pkt.Acks) > 0 {
+				ep.processAcks(pkt.Acks)
+			}
+			ep.cpu.Advance(ep.p.HostFlowControlRecv)
+			ep.stats.RejectsSent++
+			back := &myrinet.Packet{
+				Src:         ep.NodeID(),
+				Dst:         pkt.Src,
+				Type:        myrinet.Reject,
+				Handler:     pkt.Handler,
+				Seq:         pkt.Seq,
+				Payload:     pkt.Payload,
+				HeaderBytes: ep.p.FMHeaderBytes,
+				Retries:     pkt.Retries,
+				Injected:    pkt.Injected,
+			}
+			ep.pushFrame(back)
+		default:
+			// Never bounce control traffic; process it normally.
+			ep.process(pkt)
+		}
+	}
+}
+
+// retryRejected resends reject-queue entries whose backoff has expired.
+func (ep *Endpoint) retryRejected() {
+	for !ep.rejectQ.Empty() && ep.rejectQ.Peek().retryAt <= ep.Now() {
+		entry := ep.rejectQ.Pop()
+		if ep.cfg.PiggybackAcks {
+			ep.attachAcks(entry.pkt)
+		}
+		ep.pushFrame(entry.pkt)
+		ep.stats.Retransmits++
+		ep.stats.Sent++
+	}
+}
+
+// flushAcks emits standalone acknowledgements once the receive queue has
+// drained, so senders are never starved of window space when there is no
+// reverse data traffic to piggyback on.
+func (ep *Endpoint) flushAcks() {
+	if !ep.dev.HostRecvQ.Empty() {
+		return
+	}
+	// Sorted iteration keeps the simulation deterministic.
+	srcs := make([]int, 0, len(ep.pendingAcks))
+	for src := range ep.pendingAcks {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		if len(ep.pendingAcks[src]) > 0 {
+			ep.sendAck(src)
+		}
+	}
+}
+
+// sendAck emits one standalone (possibly aggregated) acknowledgement.
+func (ep *Endpoint) sendAck(src int) {
+	seqs := ep.pendingAcks[src]
+	if len(seqs) == 0 {
+		return
+	}
+	delete(ep.pendingAcks, src)
+	ep.cpu.Advance(ep.p.HostAckBuild)
+	pkt := &myrinet.Packet{
+		Src:         ep.NodeID(),
+		Dst:         src,
+		Type:        myrinet.Ack,
+		Acks:        coalesce(seqs),
+		HeaderBytes: ep.p.FMHeaderBytes,
+	}
+	ep.stats.AcksSent++
+	ep.stats.SeqsAcked += uint64(len(seqs))
+	ep.pushFrame(pkt)
+}
+
+// syncConsumed refreshes the LANai's view of the host's consumption
+// counter. With buffer management on, the update is batched and costs an
+// SBus control write; the vestigial layer updates for free (its cost is
+// exactly what Fig. 7 measures).
+func (ep *Endpoint) syncConsumed() {
+	if ep.consumed == ep.consumedSync {
+		return
+	}
+	if ep.cfg.BufferMgmt {
+		if ep.consumed-ep.consumedSync < consumedSyncBatch && !ep.dev.HostRecvQ.Empty() {
+			return
+		}
+		ep.cpu.ControlWrite()
+	}
+	ep.consumedSync = ep.consumed
+	ep.dev.HostUpdateRecvConsumed(ep.consumed)
+}

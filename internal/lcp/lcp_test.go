@@ -1,0 +1,250 @@
+package lcp
+
+import (
+	"testing"
+
+	"fm/internal/cost"
+	"fm/internal/lanai"
+	"fm/internal/myrinet"
+	"fm/internal/sbus"
+	"fm/internal/sim"
+)
+
+// pair builds two LANai devices on a crossbar, no hosts.
+func pair(p *cost.Params) (*sim.Kernel, *lanai.Device, *lanai.Device) {
+	k := sim.NewKernel()
+	fab := myrinet.NewCrossbar(k, p, 2, 8)
+	qc := lanai.DefaultQueues(616)
+	b0 := sbus.New(k, p, "sbus0")
+	b1 := sbus.New(k, p, "sbus1")
+	d0 := lanai.New(k, p, b0, fab, 0, qc)
+	d1 := lanai.New(k, p, b1, fab, 1, qc)
+	return k, d0, d1
+}
+
+// TestSyntheticStreamBandwidth checks the Fig. 3 bandwidth pipeline: the
+// streamed LCP's per-packet time is its loop overhead + DMA setup + wire
+// time, so measured bandwidth must track the analytic model.
+func TestSyntheticStreamBandwidth(t *testing.T) {
+	p := cost.Default()
+	k, d0, d1 := pair(p)
+	const packets = 200
+	const payload = 128
+
+	received := 0
+	var last sim.Time
+	Start(d0, Options{Streamed: true, Source: Synthetic, SynthDst: 1})
+	Start(d1, Options{Streamed: true, Source: Synthetic, SynthDst: 0,
+		OnReceive: func(pk *myrinet.Packet) {
+			if len(pk.Payload) != payload {
+				t.Errorf("payload len %d", len(pk.Payload))
+			}
+			received++
+			last = k.Now()
+		}})
+	d0.SetSynthetic(packets, payload)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if received != packets {
+		t.Fatalf("received %d/%d", received, packets)
+	}
+	// Sender per-packet gap: streamed instr + DMA setup + wire time.
+	wire := payload + p.FMHeaderBytes
+	gap := p.Instr(p.LCPStreamedSendInstr) + p.DMASetup + sim.Duration(wire)*p.LinkByte
+	want := gap.Seconds() * packets
+	got := last.Seconds()
+	if got < want*0.95 || got > want*1.4 {
+		t.Errorf("stream of %d packets finished at %.2fus, analytic sender-bound %.2fus",
+			packets, last.Microseconds(), want*1e6)
+	}
+}
+
+// TestStreamedFasterThanBaseline reproduces the Fig. 3 ordering.
+func TestStreamedFasterThanBaseline(t *testing.T) {
+	run := func(streamed bool) sim.Time {
+		p := cost.Default()
+		k, d0, d1 := pair(p)
+		var done sim.Time
+		n := 0
+		Start(d0, Options{Streamed: streamed, Source: Synthetic, SynthDst: 1})
+		Start(d1, Options{Streamed: streamed, Source: Synthetic, SynthDst: 0,
+			OnReceive: func(*myrinet.Packet) {
+				n++
+				done = k.Now()
+			}})
+		d0.SetSynthetic(100, 128)
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		if n != 100 {
+			t.Fatalf("received %d", n)
+		}
+		return done
+	}
+	base := run(false)
+	stream := run(true)
+	if stream >= base {
+		t.Errorf("streamed (%v) not faster than baseline (%v)", stream, base)
+	}
+}
+
+// TestLANaiPingPongLatency checks the Fig. 3 latency path against the
+// analytic one-way model.
+func TestLANaiPingPongLatency(t *testing.T) {
+	p := cost.Default()
+	k, d0, d1 := pair(p)
+	const rounds = 50
+	const payload = 16
+
+	var finish sim.Time
+	got := 0
+	// Responder: every received frame triggers one reply.
+	Start(d1, Options{Streamed: true, Source: Synthetic, SynthDst: 0,
+		OnReceive: func(*myrinet.Packet) { d1.AddSynthetic(1) }})
+	Start(d0, Options{Streamed: true, Source: Synthetic, SynthDst: 1,
+		OnReceive: func(*myrinet.Packet) {
+			got++
+			finish = k.Now()
+			if got < rounds {
+				d0.AddSynthetic(1)
+			}
+		}})
+	d1.SetSynthetic(0, payload)
+	d0.SetSynthetic(1, payload)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != rounds {
+		t.Fatalf("completed %d/%d rounds", got, rounds)
+	}
+	oneWay := finish.Seconds() / (2 * rounds)
+	// Analytic one-way: send overhead + DMA setup + wire + switch +
+	// receive overhead (+ idle wake recheck), all in the few-us range.
+	wire := float64(payload+p.FMHeaderBytes) * 12.5e-9
+	lo := p.Instr(p.LCPStreamedSendInstr+p.LCPStreamedRecvInstr).Seconds() + wire + 550e-9
+	hi := lo + 3e-6
+	if oneWay < lo || oneWay > hi {
+		t.Errorf("one-way latency %.2fus outside [%.2f, %.2f]us",
+			oneWay*1e6, lo*1e6, hi*1e6)
+	}
+}
+
+// TestBaselineAlternation: in baseline mode the LCP services at most one
+// send before checking receives, so a bidirectional burst interleaves.
+func TestBaselineAlternation(t *testing.T) {
+	p := cost.Default()
+	k, d0, d1 := pair(p)
+	recv0, recv1 := 0, 0
+	Start(d0, Options{Source: Synthetic, SynthDst: 1,
+		OnReceive: func(*myrinet.Packet) { recv0++ }})
+	Start(d1, Options{Source: Synthetic, SynthDst: 0,
+		OnReceive: func(*myrinet.Packet) { recv1++ }})
+	d0.SetSynthetic(20, 64)
+	d1.SetSynthetic(20, 64)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if recv0 != 20 || recv1 != 20 {
+		t.Fatalf("recv0=%d recv1=%d", recv0, recv1)
+	}
+}
+
+// TestInterpretSlowsReceive: the switch() cost must lengthen a stream's
+// completion time (Fig. 7's point).
+func TestInterpretSlowsReceive(t *testing.T) {
+	run := func(interpret bool) sim.Time {
+		p := cost.Default()
+		k, d0, d1 := pair(p)
+		var done sim.Time
+		Start(d0, Options{Streamed: true, Source: Synthetic, SynthDst: 1})
+		Start(d1, Options{Streamed: true, Interpret: interpret, Source: Synthetic, SynthDst: 0,
+			OnReceive: func(*myrinet.Packet) { done = k.Now() }})
+		d0.SetSynthetic(100, 16)
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	plain := run(false)
+	interp := run(true)
+	if interp <= plain {
+		t.Errorf("interpretation (%v) did not slow the stream (%v)", interp, plain)
+	}
+}
+
+// TestHostDeliveryAggregation: with a stalled host, arrivals accumulate
+// in the LANai receive queue and are delivered in few, large DMA batches
+// when aggregation is on, one-per-DMA when off.
+func TestHostDeliveryAggregation(t *testing.T) {
+	// Two senders converge on node 2, whose host-DMA engine (19 ns/B plus
+	// setup) cannot keep up with the combined arrival rate; undelivered
+	// packets pile up in the LANai receive queue and aggregation pays off.
+	run := func(aggregate bool) lanai.Stats {
+		p := cost.Default()
+		k := sim.NewKernel()
+		fab := myrinet.NewCrossbar(k, p, 3, 8)
+		qc := lanai.DefaultQueues(616)
+		var devs []*lanai.Device
+		for i := 0; i < 3; i++ {
+			devs = append(devs, lanai.New(k, p, sbus.New(k, p, "s"), fab, i, qc))
+		}
+		Start(devs[0], Options{Streamed: true, Source: Synthetic, SynthDst: 2})
+		Start(devs[1], Options{Streamed: true, Source: Synthetic, SynthDst: 2})
+		Start(devs[2], Options{Streamed: true, Source: Synthetic, SynthDst: 0,
+			HostDelivery: true, Aggregate: aggregate})
+		devs[0].SetSynthetic(40, 256)
+		devs[1].SetSynthetic(40, 256)
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return devs[2].Stats()
+	}
+	agg := run(true)
+	one := run(false)
+	if agg.Delivered != 80 || one.Delivered != 80 {
+		t.Fatalf("delivered agg=%d one=%d, want 80", agg.Delivered, one.Delivered)
+	}
+	if one.HostDMABatches != 80 {
+		t.Errorf("unaggregated batches = %d, want 80", one.HostDMABatches)
+	}
+	if agg.HostDMABatches >= one.HostDMABatches {
+		t.Errorf("aggregation did not reduce DMA count: %d vs %d",
+			agg.HostDMABatches, one.HostDMABatches)
+	}
+}
+
+// TestHostRecvBackpressure: when the host never consumes, delivery stops
+// at the host receive queue capacity and the excess stays queued behind
+// it rather than being dropped.
+func TestHostRecvBackpressure(t *testing.T) {
+	p := cost.Default()
+	k := sim.NewKernel()
+	fab := myrinet.NewCrossbar(k, p, 2, 8)
+	qc := lanai.DefaultQueues(616)
+	qc.HostRecvSlots = 8
+	d0 := lanai.New(k, p, sbus.New(k, p, "s0"), fab, 0, lanai.DefaultQueues(616))
+	d1 := lanai.New(k, p, sbus.New(k, p, "s1"), fab, 1, qc)
+	Start(d0, Options{Streamed: true, Source: Synthetic, SynthDst: 1})
+	Start(d1, Options{Streamed: true, Source: Synthetic, SynthDst: 0,
+		HostDelivery: true, Aggregate: true})
+	d0.SetSynthetic(30, 64)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := d1.Stats()
+	if st.Delivered != 8 {
+		t.Errorf("delivered %d, want exactly the 8 host slots", st.Delivered)
+	}
+	if d1.HostRecvQ.Len() != 8 {
+		t.Errorf("host queue holds %d", d1.HostRecvQ.Len())
+	}
+	// The rest must be intact in the card and network staging, not lost.
+	inCard := d1.RecvQ.Len() + 8
+	if st.Received < 8 {
+		t.Errorf("received %d", st.Received)
+	}
+	if inCard > 30+8 {
+		t.Errorf("accounting anomaly: %d", inCard)
+	}
+}

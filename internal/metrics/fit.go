@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"fm/internal/sim"
+)
+
+// BWPoint is one bandwidth-sweep measurement: payload size N (bytes),
+// per-packet time, and delivered payload bandwidth (MB/s).
+type BWPoint struct {
+	N         int
+	PerPacket sim.Duration
+	MBps      float64
+}
+
+// LatPoint is one latency-sweep measurement.
+type LatPoint struct {
+	N      int
+	OneWay sim.Duration
+}
+
+// Fit summarizes a bandwidth sweep with the paper's Table 2/4 metrics.
+type Fit struct {
+	// T0 is the startup overhead: the intercept of the least-squares fit
+	// of per-packet time against payload size (t(N) = t0 + N/r_inf).
+	T0 sim.Duration
+	// RInf is the asymptotic bandwidth in MB/s from the fit's slope.
+	RInf float64
+	// NHalf is the packet size achieving RInf/2, interpolated from the
+	// measured curve (or extrapolated from the fit if the sweep never
+	// reaches it).
+	NHalf float64
+	// NHalfExtrapolated reports whether NHalf came from the fit rather
+	// than the measured curve.
+	NHalfExtrapolated bool
+}
+
+// FitSweep computes Table 4-style metrics from a bandwidth sweep.
+// RefRInf, when positive, overrides the fitted asymptote as the reference
+// for n1/2 — the paper does this for the Myrinet API, whose maximum
+// message size is too small to measure r_inf, using the SBus write
+// bandwidth instead (footnote 3).
+func FitSweep(points []BWPoint, refRInf float64) Fit {
+	if len(points) < 2 {
+		panic("metrics: need at least two sweep points to fit")
+	}
+	pts := append([]BWPoint(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+
+	t0, slope := linear(pts)
+	f := Fit{T0: sim.Duration(t0)}
+	if slope > 0 {
+		// slope is ps/byte; bandwidth = 1/slope bytes/ps.
+		f.RInf = 1e12 / slope / MiB
+	} else {
+		f.RInf = math.Inf(1)
+	}
+	ref := f.RInf
+	if refRInf > 0 {
+		ref = refRInf
+	}
+	f.NHalf, f.NHalfExtrapolated = nHalf(pts, ref, t0, slope)
+	return f
+}
+
+// linear performs least squares of per-packet time (ps) on payload bytes.
+func linear(pts []BWPoint) (intercept, slope float64) {
+	n := float64(len(pts))
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := float64(p.N)
+		y := float64(p.PerPacket)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return intercept, slope
+}
+
+// nHalf locates the payload size where bandwidth reaches ref/2.
+func nHalf(pts []BWPoint, ref, t0, slope float64) (float64, bool) {
+	half := ref / 2
+	for i, p := range pts {
+		if p.MBps >= half {
+			if i == 0 {
+				return float64(p.N), false
+			}
+			// Linear interpolation between the straddling points.
+			a, b := pts[i-1], p
+			frac := (half - a.MBps) / (b.MBps - a.MBps)
+			return float64(a.N) + frac*float64(b.N-a.N), false
+		}
+	}
+	// Sweep never reached half power: solve the fitted model
+	// N/(t0 + slope*N) = half (bytes/ps).
+	halfBps := half * MiB      // bytes/s
+	halfBpPs := halfBps / 1e12 // bytes/ps
+	den := 1 - halfBpPs*slope  // 1 - (half/rInf)
+	if den <= 0 {
+		return math.Inf(1), true
+	}
+	return halfBpPs * t0 / den, true
+}
+
+// Interp returns the measured bandwidth at size n by linear interpolation
+// over the sweep (for headline numbers at specific sizes).
+func Interp(pts []BWPoint, n int) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	sorted := append([]BWPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].N < sorted[j].N })
+	if n <= sorted[0].N {
+		return sorted[0].MBps
+	}
+	for i := 1; i < len(sorted); i++ {
+		if n <= sorted[i].N {
+			a, b := sorted[i-1], sorted[i]
+			frac := float64(n-a.N) / float64(b.N-a.N)
+			return a.MBps + frac*(b.MBps-a.MBps)
+		}
+	}
+	return sorted[len(sorted)-1].MBps
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+func fmPair(cfg core.Config) Pair {
+	c := cluster.NewFM(2, cfg, cost.Default())
+	return Pair{
+		A:      c.EPs[0],
+		B:      c.EPs[1],
+		StartA: func(app func()) { c.CPUs[0].Start(app) },
+		StartB: func(app func()) { c.CPUs[1].Start(app) },
+		Run:    c.Run,
+	}
+}
+
+func TestPingPongProducesPlausibleLatency(t *testing.T) {
+	lat, err := PingPong(fmPair(core.DefaultConfig()), 16, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full FM one-way latency for a 4-word message should land in the
+	// tens of microseconds (paper: 25 us); sanity-check the band.
+	us := lat.Microseconds()
+	if us < 5 || us > 80 {
+		t.Errorf("one-way latency = %.2f us, expected 5-80", us)
+	}
+}
+
+func TestStreamBandwidthMonotonicInSize(t *testing.T) {
+	var prev float64
+	for _, size := range []int{16, 64, 128} {
+		_, bw, err := Stream(fmPair(core.DefaultConfig()), size, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bw <= prev {
+			t.Errorf("bandwidth at %dB = %.2f not above %.2f", size, bw, prev)
+		}
+		prev = bw
+	}
+	if prev > 25 {
+		t.Errorf("128B bandwidth %.2f MB/s exceeds the SBus ceiling", prev)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	// 1 MiB in 1 second = 1 MB/s.
+	if bw := Bandwidth(MiB, 1, sim.Second); math.Abs(bw-1) > 1e-9 {
+		t.Errorf("Bandwidth = %v", bw)
+	}
+	if Bandwidth(100, 10, 0) != 0 {
+		t.Error("zero elapsed should yield 0")
+	}
+}
+
+func TestFitRecoversSyntheticModel(t *testing.T) {
+	// Synthesize t(N) = 4 us + N * 45 ns (i.e. r_inf ~= 21.2 MB/s).
+	var pts []BWPoint
+	for _, n := range []int{16, 64, 128, 256, 512} {
+		per := 4*sim.Microsecond + sim.Duration(n)*sim.NsF(45)
+		pts = append(pts, BWPoint{N: n, PerPacket: per, MBps: Bandwidth(n, 1, per)})
+	}
+	f := FitSweep(pts, 0)
+	if us := f.T0.Microseconds(); math.Abs(us-4) > 0.01 {
+		t.Errorf("t0 = %.3f us, want 4", us)
+	}
+	wantR := 1e9 / 45.0 / MiB
+	if math.Abs(f.RInf-wantR) > 0.05 {
+		t.Errorf("rInf = %.2f, want %.2f", f.RInf, wantR)
+	}
+	// Analytic n1/2 for the linear model is t0 * rInf.
+	want := 4e-6 * wantR * MiB
+	if math.Abs(f.NHalf-want)/want > 0.15 {
+		t.Errorf("n1/2 = %.0f, want ~%.0f", f.NHalf, want)
+	}
+}
+
+func TestFitNHalfExtrapolation(t *testing.T) {
+	// Sweep only tiny sizes so half power is never reached; n1/2 must be
+	// extrapolated and flagged.
+	var pts []BWPoint
+	for _, n := range []int{4, 8, 16} {
+		per := 100*sim.Microsecond + sim.Duration(n)*sim.NsF(45)
+		pts = append(pts, BWPoint{N: n, PerPacket: per, MBps: Bandwidth(n, 1, per)})
+	}
+	f := FitSweep(pts, 0)
+	if !f.NHalfExtrapolated {
+		t.Error("expected extrapolated n1/2")
+	}
+	if f.NHalf < 100e-6/45e-9*0.8 {
+		t.Errorf("extrapolated n1/2 = %.0f too small", f.NHalf)
+	}
+}
+
+func TestFitWithReferenceRInf(t *testing.T) {
+	// The API methodology: n1/2 measured against an externally supplied
+	// r_inf (footnote 3), not the fitted asymptote.
+	var pts []BWPoint
+	for _, n := range []int{512, 2048, 8192} {
+		per := 100*sim.Microsecond + sim.Duration(n)*sim.NsF(50)
+		pts = append(pts, BWPoint{N: n, PerPacket: per, MBps: Bandwidth(n, 1, per)})
+	}
+	fDefault := FitSweep(pts, 0)
+	fRef := FitSweep(pts, 23.9)
+	if fRef.NHalf <= 0 || math.IsInf(fRef.NHalf, 1) {
+		t.Fatalf("reference n1/2 = %v", fRef.NHalf)
+	}
+	if fDefault.NHalf == fRef.NHalf {
+		t.Error("reference r_inf had no effect")
+	}
+}
+
+func TestInterp(t *testing.T) {
+	pts := []BWPoint{{N: 0, MBps: 0}, {N: 100, MBps: 10}, {N: 200, MBps: 15}}
+	if got := Interp(pts, 50); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Interp(50) = %v", got)
+	}
+	if got := Interp(pts, 150); math.Abs(got-12.5) > 1e-9 {
+		t.Errorf("Interp(150) = %v", got)
+	}
+	if got := Interp(pts, 999); got != 15 {
+		t.Errorf("Interp beyond range = %v", got)
+	}
+	if got := Interp(pts, -5); got != 0 {
+		t.Errorf("Interp below range = %v", got)
+	}
+}

@@ -1,0 +1,217 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+// Sink receives packets delivered to a node port. The LANai device
+// implements it; Arrive is invoked (in event context) at the instant the
+// packet tail has fully crossed the final link.
+type Sink interface {
+	Arrive(p *Packet)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(p *Packet)
+
+// Arrive calls f(p).
+func (f SinkFunc) Arrive(p *Packet) { f(p) }
+
+// Switch is a Myrinet crossbar. Each output port is a serially-reusable
+// resource: wormhole cut-through means a packet occupies an output for
+// exactly its wire time, and two packets contending for the same output
+// serialize (the blocked worm stalls in the network).
+type Switch struct {
+	name  string
+	ports []*sim.Resource // one per output port
+	k     *sim.Kernel
+}
+
+// newSwitch builds a crossbar with the given port count.
+func newSwitch(k *sim.Kernel, name string, ports int) *Switch {
+	s := &Switch{name: name, k: k}
+	for i := 0; i < ports; i++ {
+		s.ports = append(s.ports, sim.NewResource(k, fmt.Sprintf("%s.out%d", name, i)))
+	}
+	return s
+}
+
+// Ports returns the number of ports on the crossbar.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// OutputUtilization returns the utilization of output port i.
+func (s *Switch) OutputUtilization(i int) float64 { return s.ports[i].Utilization() }
+
+// hop is one step of a precomputed source route: the switch to cross and
+// the output port to leave through.
+type hop struct {
+	sw   *Switch
+	port int
+}
+
+// Stats aggregates fabric-level traffic counters.
+type Stats struct {
+	Packets      uint64
+	PayloadBytes uint64
+	WireBytes    uint64
+	ByType       [5]uint64
+}
+
+// Fabric is the assembled network: node ports, switches, links, and the
+// source-routing table. Construct with NewCrossbar or NewLine.
+type Fabric struct {
+	k        *sim.Kernel
+	p        *cost.Params
+	sinks    []Sink
+	uplinks  []*sim.Resource // node i -> first switch
+	routes   map[[2]int][]hop
+	switches []*Switch
+	stats    Stats
+}
+
+// NewCrossbar builds the paper's measurement fabric: n nodes on a single
+// crossbar switch ("All measurements were taken on an 8-port Myrinet
+// switch", Section 4.1). n must not exceed ports.
+func NewCrossbar(k *sim.Kernel, p *cost.Params, n, ports int) *Fabric {
+	if n > ports {
+		panic(fmt.Sprintf("myrinet: %d nodes exceed %d switch ports", n, ports))
+	}
+	f := &Fabric{k: k, p: p, sinks: make([]Sink, n), routes: map[[2]int][]hop{}}
+	sw := newSwitch(k, "sw0", ports)
+	f.switches = []*Switch{sw}
+	for i := 0; i < n; i++ {
+		f.uplinks = append(f.uplinks, sim.NewResource(k, fmt.Sprintf("node%d.up", i)))
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				f.routes[[2]int{s, d}] = []hop{{sw: sw, port: d}}
+			}
+		}
+	}
+	return f
+}
+
+// NewLine builds a linear multi-switch fabric: nodesPerSwitch nodes hang
+// off each of nSwitches crossbars, with neighboring crossbars connected
+// by one link in each direction. It exercises multi-hop source routing
+// and per-hop switch latency.
+func NewLine(k *sim.Kernel, p *cost.Params, nSwitches, nodesPerSwitch, ports int) *Fabric {
+	if nodesPerSwitch+2 > ports {
+		panic("myrinet: not enough ports for nodes plus trunk links")
+	}
+	n := nSwitches * nodesPerSwitch
+	f := &Fabric{k: k, p: p, sinks: make([]Sink, n), routes: map[[2]int][]hop{}}
+	for i := 0; i < nSwitches; i++ {
+		f.switches = append(f.switches, newSwitch(k, fmt.Sprintf("sw%d", i), ports))
+	}
+	for i := 0; i < n; i++ {
+		f.uplinks = append(f.uplinks, sim.NewResource(k, fmt.Sprintf("node%d.up", i)))
+	}
+	// Port convention per switch: 0..nodesPerSwitch-1 local nodes,
+	// nodesPerSwitch = toward lower switches, nodesPerSwitch+1 = toward
+	// higher switches.
+	left, right := nodesPerSwitch, nodesPerSwitch+1
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			ss, ds := s/nodesPerSwitch, d/nodesPerSwitch
+			var route []hop
+			cur := ss
+			for cur != ds {
+				if cur < ds {
+					route = append(route, hop{sw: f.switches[cur], port: right})
+					cur++
+				} else {
+					route = append(route, hop{sw: f.switches[cur], port: left})
+					cur--
+				}
+			}
+			route = append(route, hop{sw: f.switches[ds], port: d % nodesPerSwitch})
+			f.routes[[2]int{s, d}] = route
+		}
+	}
+	return f
+}
+
+// Nodes returns the number of node ports.
+func (f *Fabric) Nodes() int { return len(f.sinks) }
+
+// Hops returns the number of switch crossings between src and dst.
+func (f *Fabric) Hops(src, dst int) int { return len(f.routes[[2]int{src, dst}]) }
+
+// Attach registers the sink that receives packets addressed to node id.
+func (f *Fabric) Attach(id int, s Sink) { f.sinks[id] = s }
+
+// Stats returns a copy of the traffic counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Inject sends p from its source node toward its destination, starting at
+// the current instant (the caller has already charged DMA setup). It
+// returns the time at which the source's outgoing channel is free again
+// (tail has left the host interface); the packet is delivered to the
+// destination sink by a scheduled event when its tail arrives.
+//
+// Timing follows Appendix A: the head incurs SwitchLatency per crossbar;
+// each link carries the frame for WireBytes * 12.5 ns; contention at any
+// switch output serializes FIFO.
+func (f *Fabric) Inject(p *Packet) sim.Time {
+	route, ok := f.routes[[2]int{p.Src, p.Dst}]
+	if !ok {
+		panic(fmt.Sprintf("myrinet: no route %d->%d", p.Src, p.Dst))
+	}
+	if f.sinks[p.Dst] == nil {
+		panic(fmt.Sprintf("myrinet: node %d has no sink attached", p.Dst))
+	}
+	p.Seal()
+	if p.Injected == 0 {
+		p.Injected = f.k.Now()
+	}
+	wire := sim.Duration(p.WireBytes()) * f.p.LinkByte
+
+	// Source uplink.
+	head, srcDone := f.uplinks[p.Src].Reserve(wire)
+
+	// Switch hops: the head is eligible at the output port SwitchLatency
+	// after it entered the crossbar; FIFO contention may delay it.
+	for _, h := range route {
+		head, _ = h.sw.ports[h.port].ReserveAt(head.Add(f.p.SwitchLatency), wire)
+	}
+	tail := head.Add(wire)
+
+	f.stats.Packets++
+	f.stats.PayloadBytes += uint64(len(p.Payload))
+	f.stats.WireBytes += uint64(p.WireBytes())
+	if int(p.Type) < len(f.stats.ByType) {
+		f.stats.ByType[p.Type]++
+	}
+	if f.k.Tracing() {
+		f.k.Tracef("net", "inject %v tail@%v", p, tail)
+	}
+
+	sink := f.sinks[p.Dst]
+	f.k.At(tail, func() {
+		if !p.Verify() {
+			panic(fmt.Sprintf("myrinet: frame %v corrupted in flight (payload aliased?)", p))
+		}
+		sink.Arrive(p)
+	})
+	return srcDone
+}
+
+// MinLatency returns the no-contention head latency from src to dst for a
+// frame of wireBytes, per the Appendix A model: per-link wire time on the
+// first link, SwitchLatency per hop, and wire time again on... — more
+// precisely: tail delivery = wire + hops*SwitchLatency after injection
+// for a single-switch route (cut-through counts wire time once per
+// overlapping link; with equal link rates the pipeline collapses to one
+// wire time plus per-hop latencies).
+func (f *Fabric) MinLatency(src, dst, wireBytes int) sim.Duration {
+	hops := f.Hops(src, dst)
+	return sim.Duration(wireBytes)*f.p.LinkByte + sim.Duration(hops)*f.p.SwitchLatency
+}

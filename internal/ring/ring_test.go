@@ -1,0 +1,201 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r := New[int]("q", 4)
+	for i := 0; i < 4; i++ {
+		r.Push(i)
+	}
+	if !r.Full() {
+		t.Fatal("expected full")
+	}
+	for i := 0; i < 4; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("expected empty")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New[int]("q", 3)
+	next := 0
+	for round := 0; round < 10; round++ {
+		r.Push(next)
+		r.Push(next + 1)
+		if got := r.Pop(); got != next {
+			t.Fatalf("round %d: Pop = %d, want %d", round, got, next)
+		}
+		if got := r.Pop(); got != next+1 {
+			t.Fatalf("round %d: Pop = %d, want %d", round, got, next+1)
+		}
+		next += 2
+	}
+}
+
+func TestCountersTrail(t *testing.T) {
+	r := New[string]("q", 8)
+	r.Push("a")
+	r.Push("b")
+	r.Pop()
+	if r.Produced() != 2 || r.Consumed() != 1 {
+		t.Fatalf("produced=%d consumed=%d", r.Produced(), r.Consumed())
+	}
+	// The paper: the consumer counter "always trails the hostsent counter
+	// by the number of packets in the queue."
+	if r.Produced()-r.Consumed() != uint64(r.Len()) {
+		t.Fatal("counter invariant violated")
+	}
+}
+
+func TestPushFullPanics(t *testing.T) {
+	r := New[int]("q", 1)
+	r.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Push(2)
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	r := New[int]("q", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Pop()
+}
+
+func TestTryVariants(t *testing.T) {
+	r := New[int]("q", 1)
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on empty should fail")
+	}
+	if !r.TryPush(7) {
+		t.Fatal("TryPush on empty should succeed")
+	}
+	if r.TryPush(8) {
+		t.Fatal("TryPush on full should fail")
+	}
+	v, ok := r.TryPop()
+	if !ok || v != 7 {
+		t.Fatalf("TryPop = (%d,%v)", v, ok)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	r := New[int]("q", 4)
+	r.Push(10)
+	r.Push(20)
+	if r.Peek() != 10 {
+		t.Fatal("Peek should see oldest")
+	}
+	if r.PeekAt(1) != 20 {
+		t.Fatal("PeekAt(1) should see second-oldest")
+	}
+	if r.Len() != 2 {
+		t.Fatal("Peek must not consume")
+	}
+}
+
+func TestPeekAtOutOfRangePanics(t *testing.T) {
+	r := New[int]("q", 4)
+	r.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.PeekAt(1)
+}
+
+func TestDrain(t *testing.T) {
+	r := New[int]("q", 4)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	got := r.Drain()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if !r.Empty() {
+		t.Fatal("Drain must empty the ring")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New[int]("q", 0)
+}
+
+func TestReset(t *testing.T) {
+	r := New[int]("q", 4)
+	r.Push(1)
+	r.Push(2)
+	r.Reset()
+	if !r.Empty() {
+		t.Fatal("Reset must empty")
+	}
+	if r.Produced() != 2 || r.Consumed() != 2 {
+		t.Fatal("Reset must preserve monotonic counters")
+	}
+}
+
+// Property: a ring behaves exactly like a bounded slice-based FIFO under
+// an arbitrary push/pop program.
+func TestRingMatchesOracle(t *testing.T) {
+	f := func(ops []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		r := New[int]("q", capacity)
+		var oracle []int
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 { // push
+				ok := r.TryPush(next)
+				wantOK := len(oracle) < capacity
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					oracle = append(oracle, next)
+				}
+				next++
+			} else { // pop
+				v, ok := r.TryPop()
+				wantOK := len(oracle) > 0
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					if v != oracle[0] {
+						return false
+					}
+					oracle = oracle[1:]
+				}
+			}
+			if r.Len() != len(oracle) || r.Free() != capacity-len(oracle) {
+				return false
+			}
+			if r.Produced()-r.Consumed() != uint64(len(oracle)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package rpc provides request/reply messaging over FM handlers — the
+// fine-grained runtime-system use case behind the paper's third target,
+// the Illinois Concert runtime, "a fine-grained programming system which
+// depends critically on low-cost high performance communication"
+// (Section 7).
+//
+// Unlike Active Messages, FM imposes no request-reply coupling (Section
+// 3.1), so this layer builds its own: requests carry a correlation id,
+// the service procedure runs inside the server's FM_extract, and the
+// reply is sent from within the handler (FM handlers may send). Calls may
+// be pipelined: Go starts a call without blocking, Call is the
+// synchronous convenience.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fm/internal/core"
+)
+
+// wire format: [kind u8][proc u8][reqID u64] + body
+const headerBytes = 10
+
+const (
+	kindRequest = 1
+	kindReply   = 2
+)
+
+// Proc is a service procedure: it receives the caller's node id and the
+// argument bytes and returns the reply bytes. It runs on the server's
+// host process during Extract, so its cost should be charged by the
+// application via the endpoint's CPU if it models real work.
+type Proc func(src int, args []byte) []byte
+
+// Call is an in-flight request.
+type Call struct {
+	peer  *Peer
+	id    uint64
+	done  bool
+	reply []byte
+}
+
+// Done reports whether the reply has arrived.
+func (c *Call) Done() bool { return c.done }
+
+// Wait pumps the messaging layer until the reply arrives and returns it.
+func (c *Call) Wait() []byte {
+	for !c.done {
+		c.peer.ep.WaitIncoming()
+		c.peer.ep.Extract()
+	}
+	return c.reply
+}
+
+// Peer is one node's RPC engine: client and server at once.
+type Peer struct {
+	ep      *core.Endpoint
+	handler int
+	procs   map[uint8]Proc
+	pending map[uint64]*Call
+	nextID  uint64
+	served  uint64
+}
+
+// New attaches an RPC peer to ep, owning FM handler id h.
+func New(ep *core.Endpoint, h int) *Peer {
+	p := &Peer{
+		ep:      ep,
+		handler: h,
+		procs:   make(map[uint8]Proc),
+		pending: make(map[uint64]*Call),
+	}
+	ep.RegisterHandler(h, p.onMessage)
+	return p
+}
+
+// Register installs a service procedure under id proc.
+func (p *Peer) Register(proc uint8, fn Proc) { p.procs[proc] = fn }
+
+// Served returns how many requests this peer has serviced.
+func (p *Peer) Served() uint64 { return p.served }
+
+// MaxArgs returns the largest argument/reply size a single-frame call can
+// carry.
+func (p *Peer) MaxArgs() int { return p.ep.Config().FramePayload - headerBytes }
+
+// Go starts a call without waiting for the reply.
+func (p *Peer) Go(dst int, proc uint8, args []byte) (*Call, error) {
+	if len(args) > p.MaxArgs() {
+		return nil, fmt.Errorf("rpc: args %d exceed frame capacity %d", len(args), p.MaxArgs())
+	}
+	p.nextID++
+	call := &Call{peer: p, id: p.nextID}
+	p.pending[call.id] = call
+	if err := p.send(dst, kindRequest, proc, call.id, args); err != nil {
+		delete(p.pending, call.id)
+		return nil, err
+	}
+	return call, nil
+}
+
+// Call performs a synchronous request and returns the reply.
+func (p *Peer) Call(dst int, proc uint8, args []byte) ([]byte, error) {
+	c, err := p.Go(dst, proc, args)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(), nil
+}
+
+// Poll services any received traffic without blocking (server pump).
+func (p *Peer) Poll() { p.ep.Extract() }
+
+// ServeUntil pumps the layer until stop returns true (server main loop).
+func (p *Peer) ServeUntil(stop func() bool) {
+	for !stop() {
+		p.ep.WaitIncoming()
+		p.ep.Extract()
+	}
+}
+
+func (p *Peer) send(dst int, kind, proc uint8, id uint64, body []byte) error {
+	frame := make([]byte, headerBytes+len(body))
+	frame[0] = kind
+	frame[1] = proc
+	binary.LittleEndian.PutUint64(frame[2:], id)
+	copy(frame[headerBytes:], body)
+	return p.ep.Send(dst, p.handler, frame)
+}
+
+func (p *Peer) onMessage(src int, payload []byte) {
+	if len(payload) < headerBytes {
+		panic("rpc: runt message")
+	}
+	kind, proc := payload[0], payload[1]
+	id := binary.LittleEndian.Uint64(payload[2:])
+	body := payload[headerBytes:]
+	switch kind {
+	case kindRequest:
+		fn, ok := p.procs[proc]
+		if !ok {
+			panic(fmt.Sprintf("rpc: node %d has no procedure %d", p.ep.NodeID(), proc))
+		}
+		p.served++
+		reply := fn(src, body)
+		if len(reply) > p.MaxArgs() {
+			panic(fmt.Sprintf("rpc: reply %d exceeds frame capacity %d", len(reply), p.MaxArgs()))
+		}
+		if err := p.send(src, kindReply, proc, id, reply); err != nil {
+			panic(fmt.Sprintf("rpc: reply to %d: %v", src, err))
+		}
+	case kindReply:
+		call, ok := p.pending[id]
+		if !ok {
+			panic(fmt.Sprintf("rpc: unmatched reply id %d on node %d", id, p.ep.NodeID()))
+		}
+		delete(p.pending, id)
+		// The FM buffer dies with the handler: copy the reply out.
+		call.reply = append([]byte(nil), body...)
+		call.done = true
+	default:
+		panic(fmt.Sprintf("rpc: unknown message kind %d", kind))
+	}
+}

@@ -1,0 +1,179 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+const h = 2
+
+func TestBasicCall(t *testing.T) {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+	var got []byte
+	serving := true
+	c.Start(1, func(ep *core.Endpoint) {
+		p := New(ep, h)
+		p.Register(1, func(src int, args []byte) []byte {
+			out := append([]byte("echo:"), args...)
+			return out
+		})
+		p.ServeUntil(func() bool { return !serving })
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		p := New(ep, h)
+		reply, err := p.Call(1, 1, []byte("ping"))
+		if err != nil {
+			t.Errorf("call: %v", err)
+		}
+		got = reply
+		serving = false
+		// Wake the server so ServeUntil re-checks its condition.
+		ep.Send4(1, h+1, 0, 0, 0, 0)
+	})
+	// Handler for the wake poke.
+	c.EPs[1].RegisterHandler(h+1, func(int, []byte) {})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("echo:ping")) {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestPipelinedCalls(t *testing.T) {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+	const n = 40
+	var sum uint32
+	done := false
+	c.Start(1, func(ep *core.Endpoint) {
+		p := New(ep, h)
+		p.Register(7, func(src int, args []byte) []byte {
+			v := binary.LittleEndian.Uint32(args)
+			out := make([]byte, 4)
+			binary.LittleEndian.PutUint32(out, v*2)
+			return out
+		})
+		p.ServeUntil(func() bool { return p.Served() >= n })
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		p := New(ep, h)
+		calls := make([]*Call, n)
+		for i := range calls {
+			args := make([]byte, 4)
+			binary.LittleEndian.PutUint32(args, uint32(i))
+			call, err := p.Go(1, 7, args)
+			if err != nil {
+				t.Errorf("go %d: %v", i, err)
+				return
+			}
+			calls[i] = call
+		}
+		for _, call := range calls {
+			sum += binary.LittleEndian.Uint32(call.Wait())
+		}
+		done = true
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("calls never completed")
+	}
+	want := uint32(0)
+	for i := 0; i < n; i++ {
+		want += uint32(2 * i)
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestMutualClients(t *testing.T) {
+	// Both nodes are client and server simultaneously; calls cross.
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+	results := make([]string, 2)
+	for me := 0; me < 2; me++ {
+		me := me
+		c.Start(me, func(ep *core.Endpoint) {
+			p := New(ep, h)
+			p.Register(0, func(src int, args []byte) []byte {
+				return []byte{byte(me)}
+			})
+			reply, err := p.Call(1-me, 0, nil)
+			if err != nil {
+				t.Errorf("node %d call: %v", me, err)
+				return
+			}
+			results[me] = string(reply)
+			// Keep serving until the peer has its answer too.
+			for p.Served() == 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+			for ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != "\x01" || results[1] != "\x00" {
+		t.Fatalf("results = %q", results)
+	}
+}
+
+func TestOversizeArgsRejected(t *testing.T) {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+	c.Start(0, func(ep *core.Endpoint) {
+		p := New(ep, h)
+		if _, err := p.Go(1, 0, make([]byte, p.MaxArgs()+1)); err == nil {
+			t.Error("oversize args accepted")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallLatencyIsShortMessageRegime(t *testing.T) {
+	// A round-trip RPC is two FM one-way latencies plus service time:
+	// it must land in the tens of microseconds, the regime the paper
+	// built FM for.
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+	var rt sim.Duration
+	stop := false
+	c.Start(1, func(ep *core.Endpoint) {
+		p := New(ep, h)
+		p.Register(0, func(int, []byte) []byte { return nil })
+		p.ServeUntil(func() bool { return stop })
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		p := New(ep, h)
+		start := ep.Now()
+		const rounds = 20
+		for i := 0; i < rounds; i++ {
+			if _, err := p.Call(1, 0, []byte{1, 2, 3, 4}); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}
+		rt = ep.Now().Sub(start) / rounds
+		stop = true
+		ep.Send4(1, h+1, 0, 0, 0, 0)
+	})
+	c.EPs[1].RegisterHandler(h+1, func(int, []byte) {})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	us := rt.Microseconds()
+	if us < 10 || us > 120 {
+		t.Errorf("round trip = %.1f us, expected tens of us", us)
+	}
+}

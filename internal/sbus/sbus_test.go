@@ -1,0 +1,110 @@
+package sbus
+
+import (
+	"testing"
+
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+func TestPIOWriteCostAndStats(t *testing.T) {
+	k := sim.NewKernel()
+	p := cost.Default()
+	b := New(k, p, "bus")
+	var end sim.Time
+	k.Spawn("host", func(pr *sim.Proc) {
+		b.PIOWrite(pr, 128)
+		end = pr.Now()
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := p.PIOTime(128)
+	if end != sim.Time(want) {
+		t.Errorf("PIO of 128B took %v, want %v", end, want)
+	}
+	if b.Stats().PIOBytes != 128 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestZeroByteWriteFree(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, cost.Default(), "bus")
+	k.Spawn("host", func(pr *sim.Proc) {
+		b.PIOWrite(pr, 0)
+		if pr.Now() != 0 {
+			t.Error("zero-byte PIO consumed time")
+		}
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusReadAndControlWriteCosts(t *testing.T) {
+	k := sim.NewKernel()
+	p := cost.Default()
+	b := New(k, p, "bus")
+	k.Spawn("host", func(pr *sim.Proc) {
+		b.StatusRead(pr)
+		if pr.Now() != sim.Time(p.SBusStatusRead) {
+			t.Errorf("status read at %v", pr.Now())
+		}
+		b.ControlWrite(pr)
+		if pr.Now() != sim.Time(p.SBusStatusRead+p.SBusControlWrite) {
+			t.Errorf("control write at %v", pr.Now())
+		}
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.StatusReads != 1 || s.CtrlWrites != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestArbitrationPIOvsDMA: the bus serializes host stores and LANai DMA
+// FIFO — a DMA booked while the host holds the bus starts afterward.
+func TestArbitrationPIOvsDMA(t *testing.T) {
+	k := sim.NewKernel()
+	p := cost.Default()
+	b := New(k, p, "bus")
+	var dmaStart, dmaEnd sim.Time
+	k.Spawn("host", func(pr *sim.Proc) {
+		b.PIOWrite(pr, 800) // holds the bus for a while
+	})
+	k.After(sim.Us(1), func() {
+		dmaStart, dmaEnd = b.DMA(0, 256)
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	pioEnd := sim.Time(p.PIOTime(800))
+	if dmaStart != pioEnd {
+		t.Errorf("DMA started at %v, want after PIO at %v", dmaStart, pioEnd)
+	}
+	if dmaEnd != dmaStart.Add(p.SBusDMATime(256)) {
+		t.Errorf("DMA end %v", dmaEnd)
+	}
+	if b.Stats().DMABytes != 256 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.NewKernel()
+	p := cost.Default()
+	b := New(k, p, "bus")
+	k.Spawn("host", func(pr *sim.Proc) {
+		b.PIOWrite(pr, 80)
+		pr.Sleep(sim.Duration(p.PIOTime(80))) // idle as long as busy
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if u := b.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want ~0.5", u)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+// event is a scheduled callback. Events with equal times fire in
+// insertion order (seq), which makes the kernel deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a hand-rolled binary min-heap keyed by (at, seq). A
+// concrete heap avoids the interface-dispatch overhead of container/heap
+// on the kernel's hottest path.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) Len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts e and restores the heap property.
+func (h *eventHeap) Push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It must not be called on an
+// empty heap.
+func (h *eventHeap) Pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev[last] = event{} // release the closure for GC
+	h.ev = h.ev[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
+		i = least
+	}
+}
+
+// Peek returns the earliest event without removing it.
+func (h *eventHeap) Peek() event { return h.ev[0] }

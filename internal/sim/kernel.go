@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kernel is the event loop at the heart of a simulation. It owns the
+// virtual clock and the event queue and coordinates process scheduling.
+// A Kernel (and everything scheduled on it) must be driven from a single
+// goroutine; process goroutines are synchronized internally so that only
+// one of them is ever runnable at a time.
+type Kernel struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+	failure error
+
+	// yield is the handoff channel on which a running process returns
+	// control to the kernel. It is unbuffered: resuming a process and
+	// waiting for it to block again is a strict rendezvous.
+	yield chan struct{}
+
+	// parked holds processes blocked on a Signal (as opposed to a timed
+	// sleep, which keeps a pending event alive). Stop uses it to unwind
+	// their goroutines.
+	parked map[*Proc]struct{}
+
+	procs     int // live process count
+	nextProc  int
+	trace     *Trace
+	eventsRun uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and no pending events.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsRun reports how many events the kernel has executed, which is a
+// useful determinism fingerprint in tests.
+func (k *Kernel) EventsRun() uint64 { return k.eventsRun }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.heap.Push(event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.At(k.now.Add(d), fn)
+}
+
+// Run executes events until the queue is empty or the horizon is reached,
+// then unwinds any processes still parked on signals. horizon may be
+// MaxTime for an unbounded run. It returns the first process failure, if
+// any process panicked.
+func (k *Kernel) Run(horizon Time) error {
+	for k.heap.Len() > 0 && k.failure == nil {
+		if k.heap.Peek().at > horizon {
+			break
+		}
+		e := k.heap.Pop()
+		k.now = e.at
+		k.eventsRun++
+		e.fn()
+	}
+	k.stopParked()
+	return k.failure
+}
+
+// RunAll is Run with an unbounded horizon.
+func (k *Kernel) RunAll() error { return k.Run(MaxTime) }
+
+// stopParked wakes every process blocked on a signal with the stop
+// sentinel so its goroutine can exit. Timed sleepers are abandoned (their
+// wake events were drained or are beyond the horizon); their goroutines
+// are released the same way if their events remain.
+func (k *Kernel) stopParked() {
+	k.stopped = true
+	for len(k.parked) > 0 {
+		// Deterministic order: lowest process id first.
+		ps := make([]*Proc, 0, len(k.parked))
+		for p := range k.parked {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+		for _, p := range ps {
+			if _, still := k.parked[p]; still {
+				delete(k.parked, p)
+				k.resumeProc(p)
+			}
+		}
+	}
+	// Any remaining timed sleepers still hold pending wake events; run
+	// them so the goroutines observe stopped and unwind.
+	for k.heap.Len() > 0 {
+		e := k.heap.Pop()
+		// Do not advance the clock during teardown.
+		e.fn()
+	}
+}
+
+// resumeProc transfers control to p and waits for it to block again or
+// terminate. Must only be called from kernel context.
+func (k *Kernel) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// fail records the first process failure; the run loop stops on the next
+// iteration.
+func (k *Kernel) fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+}

@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30*Time(Nanosecond), func() { got = append(got, 3) })
+	k.At(10*Time(Nanosecond), func() { got = append(got, 1) })
+	k.At(20*Time(Nanosecond), func() { got = append(got, 2) })
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*Time(Nanosecond) {
+		t.Fatalf("final time = %v", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(Time(Microsecond), func() { got = append(got, i) })
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-instant events not FIFO: %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(Time(Microsecond), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var stamps []Time
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * Microsecond)
+			stamps = append(stamps, p.Now())
+		}
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []Time{10 * Time(Microsecond), 20 * Time(Microsecond), 30 * Time(Microsecond)} {
+		if stamps[i] != want {
+			t.Fatalf("stamp[%d] = %v, want %v", i, stamps[i], want)
+		}
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		order = append(order, "a10")
+		p.Sleep(20 * Nanosecond) // wakes at 30
+		order = append(order, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(20 * Nanosecond)
+		order = append(order, "b20")
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a10", "b20", "a30"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalPulseWakesAllWaiters(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s")
+	woke := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			p.Wait(s)
+			woke++
+		})
+	}
+	k.After(Microsecond, s.Pulse)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+}
+
+func TestSignalNoMemory(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s")
+	s.Pulse() // no waiters: lost
+	woke := false
+	k.Spawn("w", func(p *Proc) {
+		ok := p.WaitTimeout(s, 5*Microsecond)
+		woke = ok
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if woke {
+		t.Fatal("waiter observed a pulse that happened before it waited")
+	}
+	if k.Now() != 5*Time(Microsecond) {
+		t.Fatalf("timeout did not advance clock to 5us: %v", k.Now())
+	}
+}
+
+func TestWaitTimeoutSignaledFirst(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s")
+	var ok bool
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		ok = p.WaitTimeout(s, 100*Microsecond)
+		at = p.Now()
+	})
+	k.After(3*Microsecond, s.Pulse)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected signal before timeout")
+	}
+	if at != 3*Time(Microsecond) {
+		t.Fatalf("woke at %v, want 3us", at)
+	}
+}
+
+func TestWaitTimeoutThenLaterPulseHarmless(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s")
+	wakes := 0
+	k.Spawn("w", func(p *Proc) {
+		if p.WaitTimeout(s, Microsecond) {
+			t.Error("unexpected signal")
+		}
+		wakes++
+		p.Wait(s) // wait again; the later pulse should wake exactly once
+		wakes++
+	})
+	k.After(10*Microsecond, s.Pulse)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 2 {
+		t.Fatalf("wakes = %d, want 2", wakes)
+	}
+}
+
+func TestWaitFor(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s")
+	counter := 0
+	k.Spawn("w", func(p *Proc) {
+		p.WaitFor(s, func() bool { return counter >= 3 })
+		if p.Now() != 3*Time(Microsecond) {
+			t.Errorf("condition met at %v, want 3us", p.Now())
+		}
+	})
+	for i := 1; i <= 3; i++ {
+		k.At(Time(i)*Time(Microsecond), func() { counter++; s.Pulse() })
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 3 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("u", func(p *Proc) {
+			p.Use(r, 10*Microsecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10 * Time(Microsecond), 20 * Time(Microsecond), 30 * Time(Microsecond)}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.BusyTime() != 30*Microsecond {
+		t.Fatalf("busy = %v", r.BusyTime())
+	}
+	if u := r.Utilization(); u != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestResourceReserveNonBlocking(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "dma")
+	k.At(0, func() {
+		s1, e1 := r.Reserve(5 * Microsecond)
+		s2, e2 := r.Reserve(5 * Microsecond)
+		if s1 != 0 || e1 != 5*Time(Microsecond) {
+			t.Errorf("first grant [%v,%v]", s1, e1)
+		}
+		if s2 != 5*Time(Microsecond) || e2 != 10*Time(Microsecond) {
+			t.Errorf("second grant [%v,%v]", s2, e2)
+		}
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcPanicSurfaces(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bad", func(p *Proc) {
+		p.Sleep(Microsecond)
+		panic("boom")
+	})
+	err := k.RunAll()
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+}
+
+func TestStopUnwindsParkedProcs(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "never")
+	cleaned := false
+	k.Spawn("stuck", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Wait(s) // never pulsed; Run teardown must unwind this goroutine
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Fatal("parked process was not unwound")
+	}
+}
+
+// TestDeterminism runs a randomized workload twice from the same seed and
+// requires identical schedules.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) (uint64, Time, int) {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		s := NewSignal(k, "s")
+		r := NewResource(k, "r")
+		total := 0
+		for i := 0; i < 20; i++ {
+			d := Duration(rng.Intn(1000)+1) * Nanosecond
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(d)
+					p.Use(r, d/2+1)
+					total++
+					s.Pulse()
+				}
+			})
+		}
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return k.EventsRun(), k.Now(), total
+	}
+	e1, t1, n1 := run(42)
+	e2, t2, n2 := run(42)
+	if e1 != e2 || t1 != t2 || n1 != n2 {
+		t.Fatalf("nondeterministic: (%d,%v,%d) vs (%d,%v,%d)", e1, t1, n1, e2, t2, n2)
+	}
+}
+
+// TestHeapProperty checks the event heap against a sort-based oracle.
+func TestHeapProperty(t *testing.T) {
+	f := func(times []int64) bool {
+		var h eventHeap
+		type key struct {
+			at  Time
+			seq uint64
+		}
+		var keys []key
+		for i, ti := range times {
+			at := Time(ti & 0xFFFFF) // keep times small and non-negative
+			h.Push(event{at: at, seq: uint64(i)})
+			keys = append(keys, key{at, uint64(i)})
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].at != keys[j].at {
+				return keys[i].at < keys[j].at
+			}
+			return keys[i].seq < keys[j].seq
+		})
+		for _, want := range keys {
+			got := h.Pop()
+			if got.at != want.at || got.seq != want.seq {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{12500 * Picosecond, "12.5ns"},
+		{3500 * Nanosecond, "3.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(0).Add(10 * Microsecond)
+	b := a.Add(5 * Microsecond)
+	if b.Sub(a) != 5*Microsecond {
+		t.Fatalf("Sub = %v", b.Sub(a))
+	}
+	if Ns(12).Nanoseconds() != 12 {
+		t.Fatal("Ns")
+	}
+	if Us(3) != 3*Microsecond {
+		t.Fatal("Us")
+	}
+	if NsF(12.5) != 12500*Picosecond {
+		t.Fatal("NsF")
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import "fmt"
+
+// stopSentinel is panicked inside a process goroutine when the kernel is
+// tearing down, so that blocked processes unwind their stacks and exit.
+type stopSentinel struct{}
+
+// procFailure wraps a panic raised by process code so the kernel can
+// surface it from Run instead of deadlocking.
+type procFailure struct {
+	proc string
+	val  any
+}
+
+func (f procFailure) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", f.proc, f.val)
+}
+
+// Proc is a simulated process: a goroutine that advances virtual time by
+// blocking on kernel primitives. All Proc methods must be called from
+// within the process's own function.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process running fn, starting at the current virtual
+// time (after already-queued events at this instant).
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	k.nextProc++
+	p := &Proc{k: k, id: k.nextProc, name: name, resume: make(chan struct{})}
+	k.procs++
+	go func() {
+		<-p.resume
+		defer func() {
+			k.procs--
+			if r := recover(); r != nil {
+				if _, isStop := r.(stopSentinel); !isStop {
+					k.fail(procFailure{proc: name, val: r})
+				}
+			}
+			k.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.At(k.now, func() { k.resumeProc(p) })
+	return p
+}
+
+// block returns control to the kernel and waits to be resumed. If the
+// kernel has stopped, it unwinds the goroutine.
+func (p *Proc) block() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+	if p.k.stopped {
+		panic(stopSentinel{})
+	}
+}
+
+// Sleep advances the process's local time by d, yielding to other
+// activities in between. Sleep(0) yields and resumes after other events
+// already scheduled at this instant.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	k := p.k
+	k.After(d, func() { k.resumeProc(p) })
+	p.block()
+}
+
+// SleepUntil blocks the process until absolute time t. If t is not after
+// the current time, it still yields once.
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.k.now {
+		t = p.k.now
+	}
+	k := p.k
+	k.At(t, func() { k.resumeProc(p) })
+	p.block()
+}
+
+// park records the process as signal-blocked and yields. The waker is
+// responsible for removing it from the parked set before resuming.
+func (p *Proc) park() {
+	p.k.parked[p] = struct{}{}
+	p.block()
+}

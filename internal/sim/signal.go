@@ -1,0 +1,97 @@
+package sim
+
+// Signal is a broadcast condition variable for processes. A process calls
+// Wait (or WaitTimeout) to block; any code — event callbacks, devices, or
+// other processes — calls Pulse to wake every process currently waiting.
+// Wakes are scheduled as events at the current instant, preserving
+// deterministic ordering. A Signal has no memory: a Pulse with no waiters
+// is lost, so callers must re-check their condition around Wait (the
+// standard condition-variable discipline).
+type Signal struct {
+	k       *Kernel
+	name    string
+	waiters []*waitReg
+	pulses  uint64
+}
+
+// waitReg tracks one blocked waiter. fired prevents a double resume when
+// a timeout and a pulse land at the same instant.
+type waitReg struct {
+	p        *Proc
+	fired    bool
+	timedOut bool
+}
+
+// NewSignal creates a signal attached to k. The name is used in traces.
+func NewSignal(k *Kernel, name string) *Signal {
+	return &Signal{k: k, name: name}
+}
+
+// Pulses reports how many times the signal has been pulsed (for tests and
+// stats).
+func (s *Signal) Pulses() uint64 { return s.pulses }
+
+// Pulse wakes every process currently waiting on s. Waiters resume at the
+// current virtual time, in the order they began waiting.
+func (s *Signal) Pulse() {
+	s.pulses++
+	if len(s.waiters) == 0 {
+		return
+	}
+	regs := s.waiters
+	s.waiters = nil
+	for _, r := range regs {
+		if r.fired {
+			continue
+		}
+		r.fired = true
+		reg := r
+		delete(s.k.parked, reg.p)
+		s.k.At(s.k.now, func() { s.k.resumeProc(reg.p) })
+	}
+}
+
+// Wait blocks the calling process until the next Pulse.
+func (p *Proc) Wait(s *Signal) {
+	reg := &waitReg{p: p}
+	s.waiters = append(s.waiters, reg)
+	p.park()
+}
+
+// WaitTimeout blocks until the next Pulse or until d elapses, whichever
+// comes first. It reports true if the signal fired and false on timeout.
+func (p *Proc) WaitTimeout(s *Signal, d Duration) bool {
+	reg := &waitReg{p: p}
+	s.waiters = append(s.waiters, reg)
+	k := p.k
+	k.After(d, func() {
+		if reg.fired {
+			return // pulsed first (or simultaneously, pulse wins)
+		}
+		reg.fired = true
+		reg.timedOut = true
+		delete(k.parked, p)
+		k.resumeProc(p)
+	})
+	p.park()
+	if reg.timedOut {
+		// Lazily drop the stale registration so the waiter list does not
+		// accumulate garbage under repeated timeouts.
+		for i, r := range s.waiters {
+			if r == reg {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// WaitFor repeatedly waits on s until cond() is true. cond is checked
+// before the first wait, so a satisfied condition never blocks.
+func (p *Proc) WaitFor(s *Signal, cond func() bool) {
+	for !cond() {
+		p.Wait(s)
+	}
+}

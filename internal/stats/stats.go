@@ -1,0 +1,216 @@
+// Package stats provides the small statistics toolkit the measurement
+// side of the repository uses: an HDR-style logarithmic histogram for
+// virtual-time latencies (deterministic, allocation-light) and running
+// scalar summaries.
+//
+// The paper reports means; a reproduction built on a deterministic
+// simulator can do better and expose full delivery-latency distributions
+// — in particular the long tail return-to-sender rejection adds under
+// overload, which a mean hides.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"fm/internal/sim"
+)
+
+// subBuckets is the linear resolution inside each power-of-two major
+// bucket: relative quantization error is bounded by 1/subBuckets.
+const subBuckets = 32
+
+// Histogram records sim.Duration samples in logarithmic buckets with
+// bounded relative error (~3%). The zero value is ready to use.
+type Histogram struct {
+	counts [64 * subBuckets]uint64
+	n      uint64
+	sum    sim.Duration
+	min    sim.Duration
+	max    sim.Duration
+}
+
+// bucket maps a non-negative duration to its bucket index.
+func bucket(d sim.Duration) int {
+	v := uint64(d)
+	if v < subBuckets {
+		return int(v) // exact for tiny values
+	}
+	msb := 63 - bits.LeadingZeros64(v)
+	shift := msb - 5 // keep the top 6 bits: 1 implicit + 5 sub-bucket
+	sub := int(v>>uint(shift)) - subBuckets
+	return (msb-5)*subBuckets + subBuckets + sub
+}
+
+// lower returns a representative (lower-bound) value for bucket i.
+func lower(i int) sim.Duration {
+	if i < subBuckets {
+		return sim.Duration(i)
+	}
+	major := (i - subBuckets) / subBuckets
+	sub := (i - subBuckets) % subBuckets
+	return sim.Duration((uint64(subBuckets) + uint64(sub)) << uint(major))
+}
+
+// Record adds one sample. Negative samples are a programming error.
+func (h *Histogram) Record(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("stats: negative sample %v", d))
+	}
+	h.counts[bucket(d)]++
+	if h.n == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.n++
+	h.sum += d
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the arithmetic mean of the samples.
+func (h *Histogram) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.n)
+}
+
+// Min returns the smallest recorded sample.
+func (h *Histogram) Min() sim.Duration { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Percentile returns the value at or below which fraction p (0..1] of
+// samples fall, with the histogram's relative quantization error.
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	target := uint64(p * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= target {
+			v := lower(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// Summary formats count/mean/p50/p90/p99/max on one line.
+func (h *Histogram) Summary() string {
+	if h.n == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		h.n, h.Mean(), h.Percentile(0.50), h.Percentile(0.90),
+		h.Percentile(0.99), h.Max())
+}
+
+// Scalar is a running min/mean/max of float64 observations.
+type Scalar struct {
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Scalar) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+}
+
+// Count returns the observation count.
+func (s *Scalar) Count() uint64 { return s.n }
+
+// Mean returns the running mean (0 with no observations).
+func (s *Scalar) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation.
+func (s *Scalar) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Scalar) Max() float64 { return s.max }
+
+// String formats the scalar summary.
+func (s *Scalar) String() string {
+	return fmt.Sprintf("n=%d min=%.4g mean=%.4g max=%.4g", s.n, s.min, s.Mean(), s.max)
+}
+
+// Bars renders a coarse ASCII distribution of the histogram between its
+// min and max, for CLI diagnostics.
+func (h *Histogram) Bars(width int) string {
+	if h.n == 0 || width <= 0 {
+		return ""
+	}
+	var peak uint64
+	lo, hi := bucket(h.min), bucket(h.max)
+	for i := lo; i <= hi; i++ {
+		if h.counts[i] > peak {
+			peak = h.counts[i]
+		}
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		if h.counts[i] == 0 {
+			continue
+		}
+		bar := int(h.counts[i] * uint64(width) / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%12v %s %d\n", lower(i), strings.Repeat("#", bar), h.counts[i])
+	}
+	return b.String()
+}

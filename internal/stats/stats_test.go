@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fm/internal/sim"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Error("empty histogram not zero-valued")
+	}
+	if h.Summary() != "no samples" {
+		t.Errorf("summary = %q", h.Summary())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(25 * sim.Microsecond)
+	if h.Count() != 1 {
+		t.Fatal("count")
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Percentile(p)
+		if got != 25*sim.Microsecond {
+			t.Errorf("p%.0f = %v", 100*p, got)
+		}
+	}
+	if h.Mean() != 25*sim.Microsecond || h.Min() != h.Max() {
+		t.Error("scalar stats wrong")
+	}
+}
+
+func TestNegativeSamplePanics(t *testing.T) {
+	var h Histogram
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	h.Record(-1)
+}
+
+// TestPercentileAccuracy: percentiles on a known uniform distribution
+// must land within the histogram's ~3% relative error.
+func TestPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Record(sim.Duration(i) * sim.Nanosecond)
+	}
+	for _, p := range []float64{0.10, 0.50, 0.90, 0.99} {
+		want := float64(p * n)
+		got := h.Percentile(p).Nanoseconds()
+		if got < want*0.93 || got > want*1.07 {
+			t.Errorf("p%.0f = %.0f ns, want ~%.0f", 100*p, got, want)
+		}
+	}
+	wantMean := float64(n+1) / 2
+	if got := h.Mean().Nanoseconds(); got < wantMean*0.99 || got > wantMean*1.01 {
+		t.Errorf("mean = %.0f, want ~%.0f", got, wantMean)
+	}
+}
+
+// TestPercentileAgainstOracle: random samples, percentile must be within
+// quantization error of the exact order statistic.
+func TestPercentileAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 100 + rng.Intn(2000)
+		samples := make([]float64, n)
+		for i := range samples {
+			v := sim.Duration(rng.Int63n(int64(10 * sim.Millisecond)))
+			samples[i] = float64(v)
+			h.Record(v)
+		}
+		sort.Float64s(samples)
+		for _, p := range []float64{0.25, 0.5, 0.95} {
+			idx := int(p*float64(n)) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			exact := samples[idx]
+			got := float64(h.Percentile(p))
+			// Allow quantization (3.2%) plus one rank of slack.
+			lo, hi := exact*0.90, exact*1.10+float64(sim.Nanosecond)
+			if got < lo-1 || got > hi+samples[n-1]*0.04 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(sim.Duration(rng.Int63n(int64(sim.Second))))
+	}
+	prev := sim.Duration(-1)
+	for p := 0.01; p <= 1.0; p += 0.01 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotonic at p=%.2f: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(sim.Microsecond)
+		b.Record(3 * sim.Microsecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Mean() != 2*sim.Microsecond {
+		t.Errorf("mean = %v", a.Mean())
+	}
+	if a.Min() != sim.Microsecond || a.Max() != 3*sim.Microsecond {
+		t.Error("min/max wrong after merge")
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 200 {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestScalar(t *testing.T) {
+	var s Scalar
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.Count() != 3 || s.Min() != 1 || s.Max() != 3 || s.Mean() != 2 {
+		t.Errorf("scalar = %s", s.String())
+	}
+	var empty Scalar
+	if empty.Mean() != 0 {
+		t.Error("empty mean")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 50; i++ {
+		h.Record(sim.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(10 * sim.Microsecond)
+	}
+	out := h.Bars(20)
+	if !strings.Contains(out, "#") || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("bars:\n%s", out)
+	}
+	var empty Histogram
+	if empty.Bars(20) != "" {
+		t.Error("empty bars should be empty")
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// lower(bucket(v)) <= v and within ~3.2% below it.
+	for _, v := range []sim.Duration{0, 1, 31, 32, 33, 1000, 12345, 1 << 20, 1 << 40, 987654321012} {
+		b := bucket(v)
+		lo := lower(b)
+		if lo > v {
+			t.Errorf("lower(bucket(%d)) = %d > sample", v, lo)
+		}
+		if v >= subBuckets && float64(v-lo) > float64(v)/float64(subBuckets)+1 {
+			t.Errorf("quantization of %d too coarse: lower %d", v, lo)
+		}
+	}
+}

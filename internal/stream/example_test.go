@@ -1,0 +1,43 @@
+package stream_test
+
+import (
+	"fmt"
+	"io"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/stream"
+)
+
+// A reliable, ordered byte stream over FM's unordered 128-byte frames:
+// the receiver reads with io.ReadAll until the sender's FIN.
+func Example() {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+
+	c.Start(1, func(ep *core.Endpoint) {
+		conn := stream.NewMux(ep, 0).Open(0, 1)
+		data, err := io.ReadAll(conn)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("received %d bytes: %s\n", len(data), data[:12])
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		conn := stream.NewMux(ep, 0).Open(1, 1)
+		msg := append([]byte("segmented... "), make([]byte, 500)...) // > 1 frame
+		if _, err := conn.Write(msg); err != nil {
+			panic(err)
+		}
+		_ = conn.Close()
+		for ep.Outstanding() > 0 {
+			ep.WaitIncoming()
+			ep.Extract()
+		}
+	})
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// received 513 bytes: segmented...
+}
