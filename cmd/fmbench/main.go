@@ -1,15 +1,19 @@
 // Command fmbench regenerates the paper's evaluation: every quantitative
-// figure (3, 4, 7, 8, 9), Table 4, the headline numbers, and the
-// design-choice ablations.
+// figure (3, 4, 7, 8, 9), Table 4, the headline numbers, the
+// design-choice ablations, and the beyond-the-paper fabric-scaling
+// comparison (crossbar vs. line vs. Clos).
 //
 // Usage:
 //
-//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations]
-//	        [-paper-exact] [-packets N] [-rounds N] [-workers N] [-csv DIR]
+//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics]
+//	        [-paper-exact] [-packets N] [-rounds N] [-workers N]
+//	        [-fabric-nodes N] [-csv DIR]
 //
 // Output is aligned text on stdout; -csv additionally writes one CSV per
 // curve for plotting. -paper-exact uses the paper's measurement lengths
 // (65,535 packets per bandwidth point) instead of the faster default.
+// Independent measurements fan out over a worker pool (-workers, default
+// one per CPU); results are identical at any worker count.
 package main
 
 import (
@@ -22,11 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (all, fig3, fig4, fig7, fig8, fig9, table4, headline, ablations)")
+	exp := flag.String("experiment", "all", "experiment id (all, fig3, fig4, fig7, fig8, fig9, table4, headline, ablations, fabrics)")
 	paperExact := flag.Bool("paper-exact", false, "use the paper's measurement lengths (65,535 packets per point)")
 	packets := flag.Int("packets", 0, "override packets per bandwidth point")
 	rounds := flag.Int("rounds", 0, "override ping-pong rounds per latency point")
-	workers := flag.Int("workers", 0, "override harness parallelism")
+	workers := flag.Int("workers", 0, "override harness parallelism (default: one per CPU)")
+	fabricNodes := flag.Int("fabric-nodes", 0, "override node count for the fabrics experiment (default 64)")
 	csvDir := flag.String("csv", "", "also write CSV series into this directory")
 	flag.Parse()
 
@@ -42,6 +47,9 @@ func main() {
 	}
 	if *workers > 0 {
 		opt.Workers = *workers
+	}
+	if *fabricNodes > 0 {
+		opt.FabricNodes = *fabricNodes
 	}
 
 	var run []bench.Experiment

@@ -6,9 +6,13 @@
 // comparison baseline, and a benchmark harness that regenerates every
 // quantitative figure and table in the paper's evaluation.
 //
-// Start with README.md for orientation, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for paper-vs-
-// measured results. The benchmarks in bench_test.go regenerate one
-// representative point per paper artifact; cmd/fmbench regenerates the
-// complete figures.
+// Beyond the paper, the fabric layer generalizes to arbitrary switch
+// graphs (myrinet.Topology) with canned crossbar, line, and 2-level
+// Clos constructors, and the harness compares them under all-to-all and
+// bisection traffic at 64+ nodes.
+//
+// Start with README.md for orientation: the package map, the experiment
+// index, and how to run the examples. The benchmarks in bench_test.go
+// regenerate one representative point per paper artifact; cmd/fmbench
+// regenerates the complete figures and tables.
 package fm

@@ -1,0 +1,3 @@
+module fm
+
+go 1.24

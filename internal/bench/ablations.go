@@ -184,16 +184,18 @@ func hardwareStudy(p *cost.Params, opt Options) []Row {
 		{"FM + 2x faster LANai", p.WithFasterLANai(2), [3]string{"-", "lower t0", "-"}},
 		{"FM + both improvements", p.WithBurstPIO().WithFasterLANai(2), [3]string{"-", "-", "-"}},
 	}
-	rows := make([]Row, len(variants))
-	for i, v := range variants {
+	// Workers=1: hardwareStudy already runs inside one of Ablations'
+	// parallel jobs (the serial() convention), so a nested full-width
+	// pool would only oversubscribe the CPUs.
+	return mapN(1, len(variants), func(i int) Row {
+		v := variants[i]
 		c := hostCurve(v.name, fmMaker(cfgFullFM(), v.par), opt.Sizes, serial(opt), false, 0)
-		rows[i] = Row{
+		return Row{
 			Name: "A3 " + v.name, T0us: c.Fit.T0.Microseconds(), RInf: c.Fit.RInf,
 			NHalf: c.Fit.NHalf, Extrap: c.Fit.NHalfExtrapolated,
 			PaperT0: v.paper[0], PaperR: v.paper[1], PaperN: v.paper[2],
 		}
-	}
-	return rows
+	})
 }
 
 // aggregationStudy measures the receive path with and without host-DMA

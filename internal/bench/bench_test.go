@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -24,7 +25,7 @@ func tiny() Options {
 }
 
 func TestRegistry(t *testing.T) {
-	ids := []string{"fig3", "fig4", "fig7", "fig8", "fig9", "table4", "headline", "ablations"}
+	ids := []string{"fig3", "fig4", "fig7", "fig8", "fig9", "table4", "headline", "ablations", "fabrics"}
 	for _, id := range ids {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
@@ -118,6 +119,104 @@ func TestTheoreticalCurveMatchesAppendixA(t *testing.T) {
 	want := 2470.0
 	if got := c.Lat[1].OneWay.Nanoseconds(); math.Abs(got-want) > 1 {
 		t.Errorf("theoretical latency = %.0f ns, want %.0f", got, want)
+	}
+}
+
+func TestFabricsExperiment(t *testing.T) {
+	opt := tiny()
+	opt.FabricNodes = 8
+	r := Fabrics(opt)
+	if len(r.KVs) < 11 {
+		t.Fatalf("fabrics produced %d KVs", len(r.KVs))
+	}
+	// KVs come in threes per topology: a2a BW, bisection BW, mean hops.
+	bw := func(i int) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(r.KVs[i].Measured, "%f", &v); err != nil {
+			t.Fatalf("unparseable KV %q", r.KVs[i].Measured)
+		}
+		return v
+	}
+	crossA2A, lineA2A, closA2A := bw(0), bw(3), bw(6)
+	crossBis, lineBis, closBis := bw(1), bw(4), bw(7)
+	// The crossbar is the upper bound; the Clos must beat the line on both
+	// patterns and the line's bisection must be far below the crossbar's.
+	if lineA2A >= crossA2A || closA2A > crossA2A {
+		t.Errorf("all-to-all ordering wrong: crossbar %.0f line %.0f clos %.0f",
+			crossA2A, lineA2A, closA2A)
+	}
+	if closA2A <= lineA2A || closBis <= lineBis {
+		t.Errorf("clos (%0.f/%0.f) not above line (%0.f/%0.f)",
+			closA2A, closBis, lineA2A, lineBis)
+	}
+	if lineBis > crossBis/2 {
+		t.Errorf("line bisection %.0f not trunk-bottlenecked vs crossbar %.0f", lineBis, crossBis)
+	}
+}
+
+func TestFabricGeometry(t *testing.T) {
+	for _, tc := range []struct{ n, g, groups int }{
+		{64, 8, 8}, {16, 4, 4}, {8, 2, 4}, {4, 2, 2}, {7, 1, 7},
+	} {
+		g, groups := fabricGeometry(tc.n)
+		if g != tc.g || groups != tc.groups {
+			t.Errorf("fabricGeometry(%d) = (%d,%d), want (%d,%d)", tc.n, g, groups, tc.g, tc.groups)
+		}
+	}
+}
+
+// The engine guarantee: a parallel sweep renders byte-identically to the
+// serial one. Simulations are deterministic and jobs write disjoint
+// slots, so worker count must be invisible in the output.
+func TestParallelSweepMatchesSerialByteForByte(t *testing.T) {
+	render := func(workers int) string {
+		opt := tiny()
+		opt.Workers = workers
+		opt.FabricNodes = 8
+		var buf bytes.Buffer
+		for _, r := range []*Report{Fig8(opt), Fabrics(opt)} {
+			r.WriteText(&buf)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// A panicking job surfaces on the caller's goroutine, and the
+// lowest-indexed failure wins regardless of scheduling.
+func TestRunParallelPropagatesPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "job 3") {
+			t.Errorf("recovered %v, want first failing job (3)", r)
+		}
+	}()
+	jobs := make([]func(), 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() {
+			if i >= 3 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+		}
+	}
+	runParallel(2, jobs)
+}
+
+func TestMapNOrdersResults(t *testing.T) {
+	got := mapN(4, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("mapN[%d] = %d", i, v)
+		}
 	}
 }
 

@@ -175,27 +175,21 @@ func Table4(opt Options) *Report {
 		}},
 	}
 
-	rows := make([]Row, len(entries))
-	var jobs []func()
-	for i, e := range entries {
-		i, e := i, e
-		jobs = append(jobs, func() {
-			c := e.curve()
-			paper := table4Paper[e.name]
-			rows[i] = Row{
-				Name:    e.name,
-				T0us:    c.Fit.T0.Microseconds(),
-				RInf:    c.Fit.RInf,
-				NHalf:   c.Fit.NHalf,
-				Extrap:  c.Fit.NHalfExtrapolated,
-				PaperT0: paper[0],
-				PaperR:  paper[1],
-				PaperN:  paper[2],
-			}
-		})
-	}
-	runParallel(opt.Workers, jobs)
-	r.Rows = rows
+	r.Rows = mapN(opt.Workers, len(entries), func(i int) Row {
+		e := entries[i]
+		c := e.curve()
+		paper := table4Paper[e.name]
+		return Row{
+			Name:    e.name,
+			T0us:    c.Fit.T0.Microseconds(),
+			RInf:    c.Fit.RInf,
+			NHalf:   c.Fit.NHalf,
+			Extrap:  c.Fit.NHalfExtrapolated,
+			PaperT0: paper[0],
+			PaperR:  paper[1],
+			PaperN:  paper[2],
+		}
+	})
 	return r
 }
 

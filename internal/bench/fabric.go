@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/metrics"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+)
+
+// The fabric-scaling experiment: the paper measures everything on one
+// 8-port crossbar, but production Myrinet installations were multistage
+// Clos networks. This experiment drives dense traffic patterns over
+// N-node crossbar, line, and 2-level Clos fabrics at the raw network
+// level (no host stack, so the fabric itself is the bottleneck), then
+// re-runs the all-to-all through the full FM layer on the Clos.
+
+// fabricSpec names one topology under comparison.
+type fabricSpec struct {
+	name     string
+	switches int
+	build    func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric
+}
+
+// fabricGeometry splits n nodes into equal groups for the multi-switch
+// topologies: groupSize is the largest power of two dividing n that does
+// not exceed sqrt(n), so 64 nodes become 8 groups of 8.
+func fabricGeometry(n int) (groupSize, groups int) {
+	groupSize = 1
+	for v := 2; v*v <= n; v *= 2 {
+		if n%v == 0 {
+			groupSize = v
+		}
+	}
+	return groupSize, n / groupSize
+}
+
+// closGeometry derives the full-bisection Clos sizing for n nodes:
+// spines = leaves = groups, and the switch port count that accommodates
+// both roles. Shared by the raw-fabric and FM-layer legs so they always
+// measure the same topology.
+func closGeometry(n int) (spines, leaves, nodesPerLeaf, ports int) {
+	g, groups := fabricGeometry(n)
+	ports = g + groups
+	if groups > ports {
+		ports = groups
+	}
+	return groups, groups, g, ports
+}
+
+// fabricSpecs returns the three topologies at n nodes: one ideal n-port
+// crossbar, a line of crossbars, and a full-bisection 2-level Clos
+// (spines = leaves).
+func fabricSpecs(n int) []fabricSpec {
+	g, groups := fabricGeometry(n)
+	_, _, _, closPorts := closGeometry(n)
+	return []fabricSpec{
+		{"crossbar", 1,
+			func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
+				return myrinet.NewCrossbar(k, p, n, n)
+			}},
+		{"line", groups,
+			func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
+				return myrinet.NewLine(k, p, groups, g, g+2)
+			}},
+		{"clos", 2 * groups,
+			func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
+				return myrinet.NewClos(k, p, groups, groups, g, closPorts)
+			}},
+	}
+}
+
+// fabricRun drives one traffic pattern over a fresh fabric: every source
+// injects its destination list back-to-back, each next injection paced
+// by the instant the source's uplink frees. Returns the virtual time of
+// the last delivery, the packet count, and the mean hop count.
+func fabricRun(spec fabricSpec, p *cost.Params, pattern func(src, n int) []int, size int) (sim.Duration, int, float64) {
+	k := sim.NewKernel()
+	f := spec.build(k, p)
+	n := f.Nodes()
+
+	var last sim.Time
+	delivered := 0
+	for i := 0; i < n; i++ {
+		f.Attach(i, myrinet.SinkFunc(func(*myrinet.Packet) {
+			delivered++
+			last = k.Now()
+		}))
+	}
+
+	total, hops := 0, 0
+	for src := 0; src < n; src++ {
+		src := src
+		dests := pattern(src, n)
+		total += len(dests)
+		for _, d := range dests {
+			hops += f.Hops(src, d)
+		}
+		var inject func(i int)
+		inject = func(i int) {
+			if i >= len(dests) {
+				return
+			}
+			pkt := &myrinet.Packet{
+				Src: src, Dst: dests[i], Type: myrinet.Data,
+				Payload: make([]byte, size), HeaderBytes: p.FMHeaderBytes,
+			}
+			srcDone := f.Inject(pkt)
+			k.At(srcDone, func() { inject(i + 1) })
+		}
+		k.At(0, func() { inject(0) })
+	}
+	if err := k.RunAll(); err != nil {
+		panic(err)
+	}
+	if delivered != total {
+		panic(fmt.Sprintf("bench: %s delivered %d/%d packets", spec.name, delivered, total))
+	}
+	return sim.Duration(last), total, float64(hops) / float64(total)
+}
+
+// allToAll sends `rounds` packets from every node to every other node,
+// destination order rotated per source so the pattern is not a
+// synchronized hotspot sweep.
+func allToAll(rounds int) func(src, n int) []int {
+	return func(src, n int) []int {
+		out := make([]int, 0, rounds*(n-1))
+		for r := 0; r < rounds; r++ {
+			for off := 1; off < n; off++ {
+				out = append(out, (src+off)%n)
+			}
+		}
+		return out
+	}
+}
+
+// bisection pairs node i with node (i+n/2)%n: every packet crosses the
+// fabric's midline, the worst case for topologies without full
+// bisection bandwidth.
+func bisection(packets int) func(src, n int) []int {
+	return func(src, n int) []int {
+		out := make([]int, packets)
+		for i := range out {
+			out[i] = (src + n/2) % n
+		}
+		return out
+	}
+}
+
+// fmClosAllToAll runs a one-round all-to-all through the complete FM
+// layer (hosts, SBus, LANai, flow control) on the Clos fabric, proving
+// the full stack scales past the single crossbar. Returns completion
+// time and delivered payload bandwidth.
+func fmClosAllToAll(n, size int, p *cost.Params) (sim.Duration, float64) {
+	spines, leaves, g, ports := closGeometry(n)
+	c := cluster.NewFMClos(spines, leaves, g, ports, core.DefaultConfig(), p)
+	expect := n - 1
+	for id := 0; id < n; id++ {
+		id := id
+		c.Start(id, func(ep *core.Endpoint) {
+			got := 0
+			ep.RegisterHandler(0, func(int, []byte) { got++ })
+			buf := make([]byte, size)
+			for off := 1; off < n; off++ {
+				if err := ep.Send((id+off)%n, 0, buf); err != nil {
+					panic(err)
+				}
+				ep.Extract() // keep draining while sending
+			}
+			for got < expect || ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	elapsed := sim.Duration(c.K.Now())
+	return elapsed, metrics.Bandwidth(size, n*expect, elapsed)
+}
+
+// Fabrics regenerates the fabric-scaling comparison at opt.FabricNodes
+// nodes (default 64): aggregate all-to-all bandwidth and bisection
+// bandwidth for crossbar vs. line vs. Clos, plus the FM-layer all-to-all
+// on the Clos.
+func Fabrics(opt Options) *Report {
+	p := cost.Default()
+	n := opt.FabricNodes
+	if n < 4 {
+		n = 4
+	}
+	if n%2 != 0 {
+		n++ // bisection pairing needs an even node count
+	}
+	const size = 112 // 112B payload + 16B header = the paper's 128B frame
+	r := &Report{ID: "fabrics", Title: fmt.Sprintf("Fabric scaling at %d nodes", n)}
+
+	specs := fabricSpecs(n)
+	type res struct {
+		a2aBW, bisBW, a2aHops float64
+	}
+	results := mapN(opt.Workers, len(specs), func(i int) res {
+		elapsed, packets, hops := fabricRun(specs[i], p, allToAll(2), size)
+		bisElapsed, bisPackets, _ := fabricRun(specs[i], p, bisection(32), size)
+		return res{
+			a2aBW:   metrics.Bandwidth(size, packets, elapsed),
+			bisBW:   metrics.Bandwidth(size, bisPackets, bisElapsed),
+			a2aHops: hops,
+		}
+	})
+
+	linkMBps := float64(sim.Second/p.LinkByte) / metrics.MiB
+	for i, s := range specs {
+		expect := "full bisection"
+		switch i {
+		case 1:
+			expect = "trunk-bottlenecked"
+		case 2:
+			expect = "near-crossbar"
+		}
+		r.KVs = append(r.KVs,
+			KV{s.name + ": all-to-all agg. BW (MB/s)", fmt.Sprintf("%.0f", results[i].a2aBW), expect},
+			KV{s.name + ": bisection BW (MB/s)", fmt.Sprintf("%.0f", results[i].bisBW), expect},
+			KV{s.name + ": mean hops", fmt.Sprintf("%.2f", results[i].a2aHops), "-"},
+		)
+	}
+
+	fmElapsed, fmBW := fmClosAllToAll(n, size, p)
+	r.KVs = append(r.KVs,
+		KV{fmt.Sprintf("FM on Clos: all-to-all completion, N=%d (ms)", n),
+			fmt.Sprintf("%.2f", float64(fmElapsed)/float64(sim.Millisecond)), "-"},
+		KV{"FM on Clos: delivered payload BW (MB/s)", fmt.Sprintf("%.1f", fmBW), "-"},
+	)
+
+	g, groups := fabricGeometry(n)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("geometry: crossbar = one %d-port switch; line = %d switches x %d nodes; clos = %d spines over %d leaves x %d nodes (full bisection by construction)",
+			n, groups, g, groups, groups, g),
+		fmt.Sprintf("raw link rate is %.0f MB/s per cable (%.1f ns/byte); the line's bisection is one trunk pair", linkMBps, p.LinkByte.Nanoseconds()),
+		"raw-fabric numbers exclude the host stack: they measure what the wires and switches can carry",
+	)
+	return r
+}

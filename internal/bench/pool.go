@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// The sweep engine. Every measurement in this package is an isolated
+// simulation — it builds its own sim.Kernel and cluster, so independent
+// measurements are embarrassingly parallel even though each kernel is
+// strictly single-goroutine. The engine fans jobs out over a bounded
+// worker pool (runtime.NumCPU() workers by default) and guarantees the
+// parallel schedule is invisible in the results: jobs write disjoint
+// result slots, and a panicking job is captured and re-raised on the
+// caller's goroutine — the lowest-indexed failure wins, so the reported
+// error does not depend on worker interleaving.
+
+// runParallel executes the jobs over a bounded worker pool and returns
+// when all have finished. Jobs must write into disjoint result slots. If
+// any job panics, the panic from the lowest-indexed failing job is
+// re-raised on the caller's goroutine after the pool drains.
+func runParallel(workers int, jobs []func()) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	type failure struct {
+		val   any
+		stack []byte
+	}
+	panics := make([]*failure, len(jobs))
+	type task struct {
+		idx int
+		fn  func()
+	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[t.idx] = &failure{val: r, stack: debug.Stack()}
+						}
+					}()
+					t.fn()
+				}()
+			}
+		}()
+	}
+	for i, j := range jobs {
+		ch <- task{idx: i, fn: j}
+	}
+	close(ch)
+	wg.Wait()
+	for i, f := range panics {
+		if f != nil {
+			panic(fmt.Sprintf("bench: job %d: %v\nworker stack:\n%s", i, f.val, f.stack))
+		}
+	}
+}
+
+// mapN runs fn(0..n-1) over the pool and collects the results in index
+// order, independent of execution order.
+func mapN[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	jobs := make([]func(), n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() { out[i] = fn(i) }
+	}
+	runParallel(workers, jobs)
+	return out
+}
+
+// defaultWorkers sizes the pool to the machine: one worker per CPU.
+func defaultWorkers() int { return runtime.NumCPU() }

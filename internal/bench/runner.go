@@ -16,10 +16,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strconv"
-	"sync"
 
 	"fm/internal/metrics"
 )
@@ -38,19 +36,25 @@ type Options struct {
 	Packets int
 	// Rounds per ping-pong latency measurement (paper: 50).
 	Rounds int
-	// Workers bounds harness parallelism.
+	// Workers bounds harness parallelism: the number of concurrent
+	// measurement simulations. Results are independent of the value (see
+	// pool.go); it only changes wall-clock time.
 	Workers int
+	// FabricNodes sizes the fabric-comparison experiment (all-to-all and
+	// bisection traffic on crossbar vs. line vs. Clos).
+	FabricNodes int
 }
 
 // DefaultOptions returns a sweep that reproduces every curve shape in a
 // few seconds of wall time.
 func DefaultOptions() Options {
 	return Options{
-		Sizes:    []int{4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 600},
-		APISizes: []int{16, 64, 128, 256, 512, 600, 1024, 2048, 3072, 4096},
-		Packets:  16384,
-		Rounds:   metrics.PaperPingPongRounds,
-		Workers:  runtime.GOMAXPROCS(0),
+		Sizes:       []int{4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 600},
+		APISizes:    []int{16, 64, 128, 256, 512, 600, 1024, 2048, 3072, 4096},
+		Packets:     16384,
+		Rounds:      metrics.PaperPingPongRounds,
+		Workers:     defaultWorkers(),
+		FabricNodes: 64,
 	}
 }
 
@@ -119,6 +123,7 @@ func All() []Experiment {
 		{"table4", "Table 4: Summary of FM 1.0 performance data", Table4},
 		{"headline", "Headline numbers (Sections 1 and 5)", Headline},
 		{"ablations", "Ablations: frame size, flow control, DMA aggregation, ack piggybacking, hardware what-ifs", Ablations},
+		{"fabrics", "Fabric scaling: all-to-all and bisection traffic on crossbar vs. line vs. Clos", Fabrics},
 	}
 }
 
@@ -130,33 +135,6 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
-}
-
-// runParallel executes the jobs over a bounded worker pool. Jobs write
-// into disjoint result slots, so no further synchronization is needed.
-func runParallel(workers int, jobs []func()) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var wg sync.WaitGroup
-	ch := make(chan func())
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range ch {
-				job()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
 }
 
 // --- Output ---

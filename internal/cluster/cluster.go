@@ -79,6 +79,25 @@ func NewFMOnFabric(k *sim.Kernel, p *cost.Params, fab *myrinet.Fabric, cfg core.
 	return newFMOn(hw, cfg)
 }
 
+// NewFMLine builds an FM cluster on a linear multi-switch fabric
+// (myrinet.NewLine geometry).
+func NewFMLine(nSwitches, nodesPerSwitch, ports int, cfg core.Config, p *cost.Params) *FM {
+	k := sim.NewKernel()
+	fab := myrinet.NewLine(k, p, nSwitches, nodesPerSwitch, ports)
+	return NewFMOnFabric(k, p, fab, cfg)
+}
+
+// NewFMClos builds an FM cluster on a 2-level Clos fabric
+// (myrinet.NewClos geometry): spines*leaves trunks, leaves*nodesPerLeaf
+// nodes, every switch with the given port count. This is the
+// constructor for scaling simulations past a single crossbar (64 nodes =
+// 8 spines x 8 leaves x 8 nodes on 16-port switches).
+func NewFMClos(spines, leaves, nodesPerLeaf, ports int, cfg core.Config, p *cost.Params) *FM {
+	k := sim.NewKernel()
+	fab := myrinet.NewClos(k, p, spines, leaves, nodesPerLeaf, ports)
+	return NewFMOnFabric(k, p, fab, cfg)
+}
+
 func newFMOn(hw *Hardware, cfg core.Config) *FM {
 	c := &FM{Hardware: hw, Cfg: cfg}
 	for i := range hw.Devs {

@@ -107,6 +107,106 @@ func TestFMOverMultiSwitchFabric(t *testing.T) {
 	}
 }
 
+// TestFMOverClosFabric: the full layer runs across a 2-level Clos, and
+// cross-leaf latency exceeds same-leaf latency by at least the two extra
+// switch crossings.
+func TestFMOverClosFabric(t *testing.T) {
+	p := cost.Default()
+	cfg := core.DefaultConfig()
+
+	oneWay := func(a, b, rounds int) sim.Duration {
+		c := NewFMClos(2, 2, 2, 8, cfg, p) // nodes 0,1 | 2,3
+		got := 0
+		var start, end sim.Time
+		c.Start(b, func(ep *core.Endpoint) {
+			echoed := 0
+			ep.RegisterHandler(0, func(src int, payload []byte) {
+				echoed++
+				ep.Send(src, 0, payload)
+			})
+			for echoed < rounds {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+		c.Start(a, func(ep *core.Endpoint) {
+			ep.RegisterHandler(0, func(int, []byte) { got++ })
+			start = ep.Now()
+			buf := make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				ep.Send(b, 0, buf)
+				for got < i+1 {
+					ep.WaitIncoming()
+					ep.Extract()
+				}
+			}
+			end = ep.Now()
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end.Sub(start) / sim.Duration(2*rounds)
+	}
+
+	near := oneWay(0, 1, 20) // same leaf: 1 hop
+	far := oneWay(0, 3, 20)  // leaf -> spine -> leaf: 3 hops
+	if far <= near {
+		t.Errorf("cross-leaf latency (%v) not above same-leaf (%v)", far, near)
+	}
+	if far-near < 2*p.SwitchLatency {
+		t.Errorf("hop gap %v below 2 switch latencies", far-near)
+	}
+}
+
+// closScenarioEvents runs a fixed 8-node Clos scenario (every node sends
+// 4 messages to its cross-leaf partner) and returns the kernel's event
+// count, the simulation's determinism fingerprint.
+func closScenarioEvents(t *testing.T) uint64 {
+	t.Helper()
+	c := NewFMClos(2, 2, 4, 8, core.DefaultConfig(), cost.Default())
+	const msgs = 4
+	n := c.Fab.Nodes()
+	for id := 0; id < n; id++ {
+		id := id
+		peer := (id + n/2) % n
+		c.Start(id, func(ep *core.Endpoint) {
+			got := 0
+			ep.RegisterHandler(0, func(int, []byte) { got++ })
+			buf := make([]byte, 64)
+			for i := 0; i < msgs; i++ {
+				if err := ep.Send(peer, 0, buf); err != nil {
+					t.Error(err)
+				}
+			}
+			for got < msgs || ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c.K.EventsRun()
+}
+
+// TestClosScenarioDeterminism pins the exact event count of a fixed
+// scenario. Two fresh runs must agree with each other and with the
+// pinned value; any drift means nondeterminism crept into the kernel or
+// the layers above it. Update the constant only for intentional protocol
+// or cost-model changes.
+func TestClosScenarioDeterminism(t *testing.T) {
+	const pinned = 808
+	a := closScenarioEvents(t)
+	b := closScenarioEvents(t)
+	if a != b {
+		t.Fatalf("identical scenarios ran %d vs %d events", a, b)
+	}
+	if a != pinned {
+		t.Errorf("EventsRun = %d, pinned %d (update only for intentional changes)", a, pinned)
+	}
+}
+
 func TestRunForHorizon(t *testing.T) {
 	c := NewFM(2, core.DefaultConfig(), cost.Default())
 	c.Start(0, func(ep *core.Endpoint) {

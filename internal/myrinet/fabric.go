@@ -61,7 +61,8 @@ type Stats struct {
 }
 
 // Fabric is the assembled network: node ports, switches, links, and the
-// source-routing table. Construct with NewCrossbar or NewLine.
+// source-routing table. Construct with NewFabric from an arbitrary
+// Topology, or with the canned NewCrossbar / NewLine / NewClos builders.
 type Fabric struct {
 	k        *sim.Kernel
 	p        *cost.Params
@@ -72,6 +73,29 @@ type Fabric struct {
 	stats    Stats
 }
 
+// NewFabric compiles a Topology into a live fabric on the given kernel:
+// it instantiates every switch's output-port resources, one uplink per
+// node, and the full source-routing table (shortest path for every
+// ordered node pair). The topology must be valid and fully connected;
+// violations panic, since they are construction-time programming errors.
+func NewFabric(k *sim.Kernel, p *cost.Params, t *Topology) *Fabric {
+	if err := t.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if len(t.nodes) == 0 {
+		panic("myrinet: topology has no nodes")
+	}
+	f := &Fabric{k: k, p: p, sinks: make([]Sink, len(t.nodes))}
+	for _, spec := range t.switches {
+		f.switches = append(f.switches, newSwitch(k, spec.name, spec.ports))
+	}
+	for i := range t.nodes {
+		f.uplinks = append(f.uplinks, sim.NewResource(k, fmt.Sprintf("node%d.up", i)))
+	}
+	f.routes = t.routes(f.switches)
+	return f
+}
+
 // NewCrossbar builds the paper's measurement fabric: n nodes on a single
 // crossbar switch ("All measurements were taken on an 8-port Myrinet
 // switch", Section 4.1). n must not exceed ports.
@@ -79,64 +103,43 @@ func NewCrossbar(k *sim.Kernel, p *cost.Params, n, ports int) *Fabric {
 	if n > ports {
 		panic(fmt.Sprintf("myrinet: %d nodes exceed %d switch ports", n, ports))
 	}
-	f := &Fabric{k: k, p: p, sinks: make([]Sink, n), routes: map[[2]int][]hop{}}
-	sw := newSwitch(k, "sw0", ports)
-	f.switches = []*Switch{sw}
+	t := NewTopology()
+	sw := t.AddSwitch("sw0", ports)
 	for i := 0; i < n; i++ {
-		f.uplinks = append(f.uplinks, sim.NewResource(k, fmt.Sprintf("node%d.up", i)))
+		t.AttachNode(sw, i)
 	}
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s != d {
-				f.routes[[2]int{s, d}] = []hop{{sw: sw, port: d}}
-			}
-		}
-	}
-	return f
+	return NewFabric(k, p, t)
 }
 
 // NewLine builds a linear multi-switch fabric: nodesPerSwitch nodes hang
 // off each of nSwitches crossbars, with neighboring crossbars connected
 // by one link in each direction. It exercises multi-hop source routing
 // and per-hop switch latency.
+//
+// Port convention per switch: 0..nodesPerSwitch-1 local nodes,
+// nodesPerSwitch = toward lower switches, nodesPerSwitch+1 = toward
+// higher switches.
 func NewLine(k *sim.Kernel, p *cost.Params, nSwitches, nodesPerSwitch, ports int) *Fabric {
 	if nodesPerSwitch+2 > ports {
 		panic("myrinet: not enough ports for nodes plus trunk links")
 	}
-	n := nSwitches * nodesPerSwitch
-	f := &Fabric{k: k, p: p, sinks: make([]Sink, n), routes: map[[2]int][]hop{}}
+	t := NewTopology()
 	for i := 0; i < nSwitches; i++ {
-		f.switches = append(f.switches, newSwitch(k, fmt.Sprintf("sw%d", i), ports))
+		t.AddSwitch(fmt.Sprintf("sw%d", i), ports)
 	}
-	for i := 0; i < n; i++ {
-		f.uplinks = append(f.uplinks, sim.NewResource(k, fmt.Sprintf("node%d.up", i)))
-	}
-	// Port convention per switch: 0..nodesPerSwitch-1 local nodes,
-	// nodesPerSwitch = toward lower switches, nodesPerSwitch+1 = toward
-	// higher switches.
 	left, right := nodesPerSwitch, nodesPerSwitch+1
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s == d {
-				continue
-			}
-			ss, ds := s/nodesPerSwitch, d/nodesPerSwitch
-			var route []hop
-			cur := ss
-			for cur != ds {
-				if cur < ds {
-					route = append(route, hop{sw: f.switches[cur], port: right})
-					cur++
-				} else {
-					route = append(route, hop{sw: f.switches[cur], port: left})
-					cur--
-				}
-			}
-			route = append(route, hop{sw: f.switches[ds], port: d % nodesPerSwitch})
-			f.routes[[2]int{s, d}] = route
+	for s := 0; s < nSwitches; s++ {
+		for j := 0; j < nodesPerSwitch; j++ {
+			t.AttachNode(s, j)
+		}
+		if s > 0 {
+			t.Link(s, left, s-1)
+		}
+		if s < nSwitches-1 {
+			t.Link(s, right, s+1)
 		}
 	}
-	return f
+	return NewFabric(k, p, t)
 }
 
 // Nodes returns the number of node ports.
@@ -144,6 +147,23 @@ func (f *Fabric) Nodes() int { return len(f.sinks) }
 
 // Hops returns the number of switch crossings between src and dst.
 func (f *Fabric) Hops(src, dst int) int { return len(f.routes[[2]int{src, dst}]) }
+
+// NumSwitches returns the number of switches in the fabric.
+func (f *Fabric) NumSwitches() int { return len(f.switches) }
+
+// SwitchAt returns switch i, in topology declaration order.
+func (f *Fabric) SwitchAt(i int) *Switch { return f.switches[i] }
+
+// Route returns the switches a packet from src to dst crosses, in order.
+// The final entry is the destination's delivery switch.
+func (f *Fabric) Route(src, dst int) []*Switch {
+	route := f.routes[[2]int{src, dst}]
+	out := make([]*Switch, len(route))
+	for i, h := range route {
+		out[i] = h.sw
+	}
+	return out
+}
 
 // Attach registers the sink that receives packets addressed to node id.
 func (f *Fabric) Attach(id int, s Sink) { f.sinks[id] = s }
@@ -204,13 +224,13 @@ func (f *Fabric) Inject(p *Packet) sim.Time {
 	return srcDone
 }
 
-// MinLatency returns the no-contention head latency from src to dst for a
-// frame of wireBytes, per the Appendix A model: per-link wire time on the
-// first link, SwitchLatency per hop, and wire time again on... — more
-// precisely: tail delivery = wire + hops*SwitchLatency after injection
-// for a single-switch route (cut-through counts wire time once per
-// overlapping link; with equal link rates the pipeline collapses to one
-// wire time plus per-hop latencies).
+// MinLatency returns the no-contention tail-delivery latency from src to
+// dst for a frame of wireBytes, per the Appendix A model: with wormhole
+// cut-through and equal link rates, the per-link wire times of a
+// multi-hop path overlap perfectly, so the pipeline collapses to a
+// single wire time plus SwitchLatency for each switch crossed —
+// delivery = wireBytes*LinkByte + Hops(src,dst)*SwitchLatency after
+// injection. Contention at any switch output can only add to this.
 func (f *Fabric) MinLatency(src, dst, wireBytes int) sim.Duration {
 	hops := f.Hops(src, dst)
 	return sim.Duration(wireBytes)*f.p.LinkByte + sim.Duration(hops)*f.p.SwitchLatency

@@ -1,0 +1,238 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+// Topology is a declarative description of a switch fabric: a set of
+// crossbar switches, directed inter-switch links (each consuming one
+// output port on its source switch), and node attachment points (the
+// output port a node's packets are delivered through, which by Myrinet's
+// full-duplex cabling is also where the node's uplink enters the fabric).
+//
+// A Topology is pure data; NewFabric compiles it into a live Fabric by
+// instantiating switch resources and precomputing shortest-path source
+// routes for every node pair. NewCrossbar, NewLine, and NewClos are
+// canned topologies built through this layer.
+type Topology struct {
+	switches []switchSpec
+	nodes    []attach // node id -> delivery point
+	links    []link
+}
+
+type switchSpec struct {
+	name  string
+	ports int
+}
+
+// attach is a node's delivery point: the switch and output port its
+// inbound packets leave the fabric through.
+type attach struct {
+	sw   int
+	port int
+}
+
+// link is a directed inter-switch channel occupying output port `port`
+// on switch `from`.
+type link struct {
+	from, port, to int
+}
+
+// NewTopology returns an empty fabric description.
+func NewTopology() *Topology { return &Topology{} }
+
+// AddSwitch declares a crossbar with the given port count and returns
+// its index.
+func (t *Topology) AddSwitch(name string, ports int) int {
+	t.switches = append(t.switches, switchSpec{name: name, ports: ports})
+	return len(t.switches) - 1
+}
+
+// AttachNode declares the next node id's delivery point and returns the
+// id. Node ids are assigned densely in attachment order.
+func (t *Topology) AttachNode(sw, port int) int {
+	t.nodes = append(t.nodes, attach{sw: sw, port: port})
+	return len(t.nodes) - 1
+}
+
+// Link declares a directed channel from output port `port` of switch
+// `from` into switch `to`. Bidirectional trunks are two Link calls.
+func (t *Topology) Link(from, port, to int) {
+	t.links = append(t.links, link{from: from, port: port, to: to})
+}
+
+// Validate checks structural consistency: indices in range and no output
+// port claimed twice (by two links, two nodes, or a link and a node).
+func (t *Topology) Validate() error {
+	used := map[[2]int]string{}
+	claim := func(sw, port int, what string) error {
+		if sw < 0 || sw >= len(t.switches) {
+			return fmt.Errorf("myrinet: %s references switch %d of %d", what, sw, len(t.switches))
+		}
+		if port < 0 || port >= t.switches[sw].ports {
+			return fmt.Errorf("myrinet: %s references port %d of %d on %s",
+				what, port, t.switches[sw].ports, t.switches[sw].name)
+		}
+		key := [2]int{sw, port}
+		if prev, dup := used[key]; dup {
+			return fmt.Errorf("myrinet: %s.out%d claimed by both %s and %s",
+				t.switches[sw].name, port, prev, what)
+		}
+		used[key] = what
+		return nil
+	}
+	for i, n := range t.nodes {
+		if err := claim(n.sw, n.port, fmt.Sprintf("node %d", i)); err != nil {
+			return err
+		}
+	}
+	for _, l := range t.links {
+		if err := claim(l.from, l.port, fmt.Sprintf("link to %s", t.name(l.to))); err != nil {
+			return err
+		}
+		if l.to < 0 || l.to >= len(t.switches) {
+			return fmt.Errorf("myrinet: link from %s targets switch %d of %d",
+				t.name(l.from), l.to, len(t.switches))
+		}
+	}
+	return nil
+}
+
+func (t *Topology) name(sw int) string {
+	if sw < 0 || sw >= len(t.switches) {
+		return fmt.Sprintf("sw?%d", sw)
+	}
+	return t.switches[sw].name
+}
+
+// routes computes the source-routing table: for every ordered node pair a
+// shortest path through the switch graph, ending with the delivery hop
+// out of the destination's switch.
+//
+// Where several shortest paths exist (Clos fabrics have one per spine),
+// the branch taken is the destination id modulo the number of candidate
+// next hops — deterministic, and it statically spreads unrelated
+// destinations across the parallel paths the way Myrinet's static
+// source-route tables did. Candidate next hops are ordered by output
+// port, so the choice is stable across runs.
+func (t *Topology) routes(switches []*Switch) map[[2]int][]hop {
+	// Forward adjacency (port-ordered) and reverse adjacency for the
+	// backward BFS.
+	fwd := make([][]link, len(t.switches))
+	rev := make([][]int, len(t.switches))
+	for _, l := range t.links {
+		fwd[l.from] = append(fwd[l.from], l)
+		rev[l.to] = append(rev[l.to], l.from)
+	}
+	for _, ls := range fwd {
+		for i := 1; i < len(ls); i++ { // insertion sort by port; degree is tiny
+			for j := i; j > 0 && ls[j-1].port > ls[j].port; j-- {
+				ls[j-1], ls[j] = ls[j], ls[j-1]
+			}
+		}
+	}
+
+	// dist[d] is computed lazily: one backward BFS per destination switch.
+	distTo := map[int][]int{}
+	distances := func(dstSw int) []int {
+		if d, ok := distTo[dstSw]; ok {
+			return d
+		}
+		dist := make([]int, len(t.switches))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dstSw] = 0
+		queue := []int{dstSw}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, prev := range rev[cur] {
+				if dist[prev] < 0 {
+					dist[prev] = dist[cur] + 1
+					queue = append(queue, prev)
+				}
+			}
+		}
+		distTo[dstSw] = dist
+		return dist
+	}
+
+	routes := make(map[[2]int][]hop, len(t.nodes)*(len(t.nodes)-1))
+	for s, sa := range t.nodes {
+		for d, da := range t.nodes {
+			if s == d {
+				continue
+			}
+			dist := distances(da.sw)
+			if dist[sa.sw] < 0 {
+				panic(fmt.Sprintf("myrinet: no path from %s to %s (nodes %d->%d)",
+					t.name(sa.sw), t.name(da.sw), s, d))
+			}
+			var route []hop
+			cur := sa.sw
+			for cur != da.sw {
+				var cands []link
+				for _, l := range fwd[cur] {
+					if dist[l.to] == dist[cur]-1 {
+						cands = append(cands, l)
+					}
+				}
+				pick := cands[d%len(cands)]
+				route = append(route, hop{sw: switches[pick.from], port: pick.port})
+				cur = pick.to
+			}
+			route = append(route, hop{sw: switches[da.sw], port: da.port})
+			routes[[2]int{s, d}] = route
+		}
+	}
+	return routes
+}
+
+// NewClos builds a 2-level folded-Clos (fat-tree) fabric: `leaves` leaf
+// switches with nodesPerLeaf nodes each, every leaf linked up to each of
+// `spines` spine switches by one bidirectional trunk. `ports` is the
+// physical port count of every switch (a leaf consumes nodesPerLeaf +
+// spines outputs, a spine consumes `leaves`).
+//
+// Leaf l uses ports 0..nodesPerLeaf-1 for its local nodes and port
+// nodesPerLeaf+s for the trunk to spine s; spine s uses port l for the
+// trunk down to leaf l. Same-leaf traffic crosses one switch; cross-leaf
+// traffic crosses three (leaf, spine, leaf), with the spine chosen
+// deterministically per destination (see Topology routing). This is the
+// multistage fabric real Myrinet installations scaled to beyond the
+// paper's single 8-port crossbar.
+func NewClos(k *sim.Kernel, p *cost.Params, spines, leaves, nodesPerLeaf, ports int) *Fabric {
+	if spines < 1 || leaves < 1 || nodesPerLeaf < 1 {
+		panic("myrinet: Clos dimensions must be positive")
+	}
+	if nodesPerLeaf+spines > ports {
+		panic(fmt.Sprintf("myrinet: leaf needs %d ports (%d nodes + %d spines), has %d",
+			nodesPerLeaf+spines, nodesPerLeaf, spines, ports))
+	}
+	if leaves > ports {
+		panic(fmt.Sprintf("myrinet: spine needs %d ports for %d leaves, has %d", leaves, leaves, ports))
+	}
+	t := NewTopology()
+	leafIdx := make([]int, leaves)
+	for l := 0; l < leaves; l++ {
+		leafIdx[l] = t.AddSwitch(fmt.Sprintf("leaf%d", l), ports)
+	}
+	spineIdx := make([]int, spines)
+	for s := 0; s < spines; s++ {
+		spineIdx[s] = t.AddSwitch(fmt.Sprintf("spine%d", s), ports)
+	}
+	for l := 0; l < leaves; l++ {
+		for j := 0; j < nodesPerLeaf; j++ {
+			t.AttachNode(leafIdx[l], j)
+		}
+		for s := 0; s < spines; s++ {
+			t.Link(leafIdx[l], nodesPerLeaf+s, spineIdx[s])
+			t.Link(spineIdx[s], l, leafIdx[l])
+		}
+	}
+	return NewFabric(k, p, t)
+}
