@@ -164,6 +164,26 @@ func BenchmarkTable4FullFMLatency16B(b *testing.B) {
 	b.ReportMetric(us, "sim-lat-us")
 }
 
+// --- The mpi experiment: MPI-on-FM cost of layering ---
+
+func BenchmarkMPIBandwidth(b *testing.B) {
+	p := cost.Default()
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		mbps = bench.MPIStream(p, benchSize, benchPackets).MBps
+	}
+	b.ReportMetric(mbps, "sim-MB/s")
+}
+
+func BenchmarkMPILatency(b *testing.B) {
+	p := cost.Default()
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = bench.MPIPingPong(p, benchSize, benchRounds).OneWay.Microseconds()
+	}
+	b.ReportMetric(us, "sim-lat-us")
+}
+
 // --- Ablation benches: the DESIGN.md design choices ---
 
 func BenchmarkAblationBurstPIO(b *testing.B) {

@@ -1,11 +1,12 @@
 // Command fmbench regenerates the paper's evaluation: every quantitative
 // figure (3, 4, 7, 8, 9), Table 4, the headline numbers, the
-// design-choice ablations, and the beyond-the-paper fabric-scaling
-// comparison (crossbar vs. line vs. Clos).
+// design-choice ablations, and the beyond-the-paper experiments — the
+// fabric-scaling comparison (crossbar vs. line vs. Clos) and the
+// MPI-on-FM cost-of-layering comparison.
 //
 // Usage:
 //
-//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics]
+//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi]
 //	        [-paper-exact] [-packets N] [-rounds N] [-workers N]
 //	        [-fabric-nodes N] [-csv DIR]
 //
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (all, fig3, fig4, fig7, fig8, fig9, table4, headline, ablations, fabrics)")
+	exp := flag.String("experiment", "all", "experiment id (all, fig3, fig4, fig7, fig8, fig9, table4, headline, ablations, fabrics, mpi)")
 	paperExact := flag.Bool("paper-exact", false, "use the paper's measurement lengths (65,535 packets per point)")
 	packets := flag.Int("packets", 0, "override packets per bandwidth point")
 	rounds := flag.Int("rounds", 0, "override ping-pong rounds per latency point")

@@ -8,11 +8,14 @@
 //
 // Beyond the paper, the fabric layer generalizes to arbitrary switch
 // graphs (myrinet.Topology) with canned crossbar, line, and 2-level
-// Clos constructors, and the harness compares them under all-to-all and
-// bisection traffic at 64+ nodes.
+// Clos constructors, the harness compares them under all-to-all and
+// bisection traffic at 64+ nodes, and an MPI-style layer (internal/mpi:
+// tagged matching, communicators, nonblocking operations, collectives)
+// runs on top of FM to measure the classic cost of layering.
 //
 // Start with README.md for orientation: the package map, the experiment
-// index, and how to run the examples. The benchmarks in bench_test.go
-// regenerate one representative point per paper artifact; cmd/fmbench
-// regenerates the complete figures and tables.
+// index, and how to run the examples; DESIGN.md walks the architecture
+// and EXPERIMENTS.md catalogs the fmbench experiments. The benchmarks
+// in bench_test.go regenerate one representative point per paper
+// artifact; cmd/fmbench regenerates the complete figures and tables.
 package fm

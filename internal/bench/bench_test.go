@@ -25,7 +25,7 @@ func tiny() Options {
 }
 
 func TestRegistry(t *testing.T) {
-	ids := []string{"fig3", "fig4", "fig7", "fig8", "fig9", "table4", "headline", "ablations", "fabrics"}
+	ids := []string{"fig3", "fig4", "fig7", "fig8", "fig9", "table4", "headline", "ablations", "fabrics", "mpi"}
 	for _, id := range ids {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
@@ -36,6 +36,53 @@ func TestRegistry(t *testing.T) {
 	}
 	if len(All()) != len(ids) {
 		t.Errorf("All() has %d experiments", len(All()))
+	}
+}
+
+func TestMPIShapeClaims(t *testing.T) {
+	r := MPILayering(tiny())
+	if len(r.Curves) != 5 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	raw, layered := r.Curves[0], r.Curves[1]
+	rawClos, layeredClos := r.Curves[2], r.Curves[3]
+	// Layering costs latency and bandwidth at every size, on both
+	// fabrics.
+	for i := range raw.BW {
+		if layered.BW[i].MBps >= raw.BW[i].MBps {
+			t.Errorf("at %dB MPI bandwidth (%.1f) not below raw FM (%.1f)",
+				raw.BW[i].N, layered.BW[i].MBps, raw.BW[i].MBps)
+		}
+		if layered.Lat[i].OneWay <= raw.Lat[i].OneWay {
+			t.Errorf("at %dB MPI latency not above raw FM", raw.Lat[i].N)
+		}
+		if layeredClos.BW[i].MBps >= rawClos.BW[i].MBps {
+			t.Errorf("at %dB Clos MPI bandwidth not below raw FM", raw.BW[i].N)
+		}
+	}
+	// The Clos pair pays extra switch hops in latency.
+	if rawClos.Lat[0].OneWay <= raw.Lat[0].OneWay {
+		t.Error("cross-leaf Clos latency not above crossbar latency")
+	}
+	// The layering cost in t0 is a fixed software cost: a few us.
+	dt0 := layered.Fit.T0.Microseconds() - raw.Fit.T0.Microseconds()
+	if dt0 <= 0 || dt0 > 10 {
+		t.Errorf("layering t0 cost %.1fus outside (0, 10]", dt0)
+	}
+}
+
+func TestMPIDeterminism(t *testing.T) {
+	opt := tiny()
+	opt.Sizes = []int{16, 128}
+	opt.Workers = 1
+	a := MPILayering(opt)
+	opt.Workers = 5
+	b := MPILayering(opt)
+	var ta, tb bytes.Buffer
+	a.WriteText(&ta)
+	b.WriteText(&tb)
+	if ta.String() != tb.String() {
+		t.Error("mpi experiment output depends on worker count")
 	}
 }
 

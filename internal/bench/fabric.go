@@ -44,11 +44,7 @@ func fabricGeometry(n int) (groupSize, groups int) {
 // measure the same topology.
 func closGeometry(n int) (spines, leaves, nodesPerLeaf, ports int) {
 	g, groups := fabricGeometry(n)
-	ports = g + groups
-	if groups > ports {
-		ports = groups
-	}
-	return groups, groups, g, ports
+	return groups, groups, g, g + groups
 }
 
 // fabricSpecs returns the three topologies at n nodes: one ideal n-port

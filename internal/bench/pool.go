@@ -80,5 +80,7 @@ func mapN[T any](workers, n int, fn func(i int) T) []T {
 	return out
 }
 
-// defaultWorkers sizes the pool to the machine: one worker per CPU.
-func defaultWorkers() int { return runtime.NumCPU() }
+// defaultWorkers sizes the pool to the schedulable parallelism
+// (GOMAXPROCS honors cgroup quotas and user overrides; NumCPU would
+// oversubscribe a limited container with memory-hungry idle kernels).
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

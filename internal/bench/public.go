@@ -59,6 +59,18 @@ func APIPingPong(v myriapi.Variant, p *cost.Params, size, rounds int) sim.Durati
 	return lat
 }
 
+// MPIStream measures host-to-host bandwidth through the MPI layer on
+// the full FM stack (two-node crossbar, frame sized to one fragment).
+func MPIStream(p *cost.Params, size, packets int) metrics.BWPoint {
+	return mpiStreamPoint(mpiCrossbar(p, 0), size, packets)
+}
+
+// MPIPingPong measures one-way tagged-message latency through the MPI
+// layer on the full FM stack.
+func MPIPingPong(p *cost.Params, size, rounds int) metrics.LatPoint {
+	return mpiLatPoint(mpiCrossbar(p, 0), size, rounds)
+}
+
 // Exported layer-stack configurations (the Table 4 rows), for benchmarks
 // and external tooling.
 

@@ -124,6 +124,7 @@ func All() []Experiment {
 		{"headline", "Headline numbers (Sections 1 and 5)", Headline},
 		{"ablations", "Ablations: frame size, flow control, DMA aggregation, ack piggybacking, hardware what-ifs", Ablations},
 		{"fabrics", "Fabric scaling: all-to-all and bisection traffic on crossbar vs. line vs. Clos", Fabrics},
+		{"mpi", "MPI on FM: the cost of layering (tagged matching vs. raw FM, crossbar and Clos)", MPILayering},
 	}
 }
 

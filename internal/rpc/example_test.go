@@ -1,0 +1,51 @@
+package rpc_test
+
+import (
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/rpc"
+)
+
+// A request/reply service over FM handlers: node 1 registers a
+// procedure, node 0 calls it synchronously and pipelines two
+// nonblocking calls.
+func Example() {
+	c := cluster.NewFM(2, core.DefaultConfig(), cost.Default())
+
+	const reverse = 1
+	c.Start(1, func(ep *core.Endpoint) {
+		p := rpc.New(ep, 0)
+		p.Register(reverse, func(src int, args []byte) []byte {
+			out := make([]byte, len(args))
+			for i, b := range args {
+				out[len(args)-1-i] = b
+			}
+			return out
+		})
+		p.ServeUntil(func() bool { return p.Served() == 3 })
+	})
+	c.Start(0, func(ep *core.Endpoint) {
+		p := rpc.New(ep, 0)
+		reply, err := p.Call(1, reverse, []byte("stressed")) // synchronous
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("reverse(stressed) = %s\n", reply)
+
+		// Pipelined: both requests are in flight before either reply.
+		c1, _ := p.Go(1, reverse, []byte("drawer"))
+		c2, _ := p.Go(1, reverse, []byte("diaper"))
+		fmt.Printf("reverse(drawer) = %s\n", c1.Wait())
+		fmt.Printf("reverse(diaper) = %s\n", c2.Wait())
+	})
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// reverse(stressed) = desserts
+	// reverse(drawer) = reward
+	// reverse(diaper) = repaid
+}
