@@ -18,6 +18,8 @@ import (
 	"fm/internal/core"
 	"fm/internal/cost"
 	"fm/internal/myriapi"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
 )
 
 const (
@@ -182,6 +184,98 @@ func BenchmarkMPILatency(b *testing.B) {
 		us = bench.MPIPingPong(p, benchSize, benchRounds).OneWay.Microseconds()
 	}
 	b.ReportMetric(us, "sim-lat-us")
+}
+
+// --- Simulator hot paths: wall-clock and allocation benchmarks ---
+//
+// These three benchmarks measure the simulator itself (not the modeled
+// hardware): the kernel event loop, raw fabric forwarding, and the full
+// FM send/extract stack. CI runs them as a build/panic smoke test; their
+// allocs/op are the regression surface for the engine's allocation
+// discipline (see DESIGN.md "Performance").
+
+// BenchmarkKernelEvents drives the bare event loop: processes sleeping
+// in a tight loop plus a chain of plain events, no network model at all.
+func BenchmarkKernelEvents(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		for p := 0; p < 4; p++ {
+			k.Spawn("spin", func(p *sim.Proc) {
+				for j := 0; j < 1000; j++ {
+					p.Sleep(sim.Microsecond)
+				}
+			})
+		}
+		steps := 0
+		var tick func()
+		tick = func() {
+			if steps++; steps < 1000 {
+				k.After(sim.Microsecond, tick)
+			}
+		}
+		k.After(sim.Microsecond, tick)
+		if err := k.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricForward builds a 64-node Clos and forwards 1024 raw
+// packets across it (16 per source, rotating destinations): the packet
+// pipeline with no host stack on top.
+func BenchmarkFabricForward(b *testing.B) {
+	b.ReportAllocs()
+	p := cost.Default()
+	const nodes, perSrc, size = 64, 16, 112
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		f := myrinet.NewClos(k, p, 8, 8, 8, 16)
+		delivered := 0
+		sink := myrinet.SinkFunc(func(pkt *myrinet.Packet) {
+			delivered++
+			f.Release(pkt)
+		})
+		for n := 0; n < nodes; n++ {
+			f.Attach(n, sink)
+		}
+		payload := make([]byte, size)
+		for src := 0; src < nodes; src++ {
+			src := src
+			var inject func(j int)
+			inject = func(j int) {
+				if j >= perSrc {
+					return
+				}
+				pkt := f.NewPacket()
+				pkt.Src, pkt.Dst = src, (src+j+1)%nodes
+				pkt.Type = myrinet.Data
+				pkt.HeaderBytes = p.FMHeaderBytes
+				pkt.Payload = append(pkt.Payload[:0], payload...)
+				done := f.Inject(pkt)
+				k.At(done, func() { inject(j + 1) })
+			}
+			k.At(0, func() { inject(0) })
+		}
+		if err := k.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+		if delivered != nodes*perSrc {
+			b.Fatalf("delivered %d/%d", delivered, nodes*perSrc)
+		}
+	}
+}
+
+// BenchmarkFMSendExtract streams 512 frames through the complete FM 1.0
+// stack (hosts, SBus, LANai, LCP, flow control) on a two-node crossbar.
+func BenchmarkFMSendExtract(b *testing.B) {
+	b.ReportAllocs()
+	p := cost.Default()
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		_, mbps = bench.FMStream(bench.ConfigFullFM(), p, benchSize, 512)
+	}
+	b.ReportMetric(mbps, "sim-MB/s")
 }
 
 // --- Ablation benches: the DESIGN.md design choices ---

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi]
+//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|scale]
 //	        [-paper-exact] [-packets N] [-rounds N] [-workers N]
 //	        [-fabric-nodes N] [-csv DIR]
 //
@@ -15,6 +15,11 @@
 // (65,535 packets per bandwidth point) instead of the faster default.
 // Independent measurements fan out over a worker pool (-workers, default
 // one per CPU); results are identical at any worker count.
+//
+// `-experiment all` runs the paper set; long-running extended
+// experiments (scale: Clos sweeps to 1024 nodes through the full FM
+// stack) run only when named explicitly. An unknown experiment id is
+// rejected, with the valid ids listed, before anything runs.
 package main
 
 import (
@@ -27,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (all, fig3, fig4, fig7, fig8, fig9, table4, headline, ablations, fabrics, mpi)")
+	exp := flag.String("experiment", "all", "comma-separated experiment ids (all, "+strings.Join(bench.IDs(), ", ")+")")
 	paperExact := flag.Bool("paper-exact", false, "use the paper's measurement lengths (65,535 packets per point)")
 	packets := flag.Int("packets", 0, "override packets per bandwidth point")
 	rounds := flag.Int("rounds", 0, "override ping-pong rounds per latency point")
@@ -53,18 +58,34 @@ func main() {
 		opt.FabricNodes = *fabricNodes
 	}
 
+	// Validate every requested id before running anything: a typo in a
+	// list must not cost a partial (and possibly long) run. "all" may
+	// appear anywhere in the list and expands to the paper set (so
+	// `-experiment all,scale` appends the extended sweep); repeated ids
+	// run once.
 	var run []bench.Experiment
-	if *exp == "all" {
-		run = bench.All()
-	} else {
-		for _, id := range strings.Split(*exp, ",") {
-			e, ok := bench.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "fmbench: unknown experiment %q\n", id)
-				os.Exit(2)
-			}
+	seen := map[string]bool{}
+	add := func(e bench.Experiment) {
+		if !seen[e.ID] {
+			seen[e.ID] = true
 			run = append(run, e)
 		}
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		if id == "all" {
+			for _, e := range bench.All() {
+				add(e)
+			}
+			continue
+		}
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fmbench: unknown experiment %q\nvalid ids: all, %s\n",
+				id, strings.Join(bench.IDs(), ", "))
+			os.Exit(2)
+		}
+		add(e)
 	}
 
 	for _, e := range run {

@@ -37,6 +37,13 @@ func TestRegistry(t *testing.T) {
 	if len(All()) != len(ids) {
 		t.Errorf("All() has %d experiments", len(All()))
 	}
+	// The extended registry adds scale (not part of `all`).
+	if _, ok := ByID("scale"); !ok {
+		t.Error("extended experiment scale missing from registry")
+	}
+	if want := len(ids) + len(Extended()); len(IDs()) != want {
+		t.Errorf("IDs() lists %d experiments, want %d", len(IDs()), want)
+	}
 }
 
 func TestMPIShapeClaims(t *testing.T) {
@@ -201,6 +208,25 @@ func TestFabricsExperiment(t *testing.T) {
 	}
 }
 
+// TestScaleExperimentSmall runs the scale sweep at toy sizes: every
+// point must produce its five metrics, and the report must be identical
+// at any worker count (the same guarantee the paper experiments carry).
+func TestScaleExperimentSmall(t *testing.T) {
+	opt := DefaultOptions()
+	opt.ScaleNodes = []int{8, 16}
+	parallel := Scale(opt)
+	if got, want := len(parallel.KVs), 5*len(opt.ScaleNodes); got != want {
+		t.Fatalf("scale produced %d metrics, want %d", got, want)
+	}
+	opt.Workers = 1
+	serial := Scale(opt)
+	for i := range parallel.KVs {
+		if parallel.KVs[i] != serial.KVs[i] {
+			t.Errorf("worker-dependent result: %v vs %v", parallel.KVs[i], serial.KVs[i])
+		}
+	}
+}
+
 func TestFabricGeometry(t *testing.T) {
 	for _, tc := range []struct{ n, g, groups int }{
 		{64, 8, 8}, {16, 4, 4}, {8, 2, 4}, {4, 2, 2}, {7, 1, 7},
@@ -256,6 +282,44 @@ func TestRunParallelPropagatesPanics(t *testing.T) {
 		}
 	}
 	runParallel(2, jobs)
+}
+
+// TestRunParallelLowestIndexWinsWithJobZero pins the documented
+// lowest-index-wins rule in its corner case: when job 0 panics alongside
+// a higher-indexed job, the re-raised panic must be job 0's, at any
+// worker count — the reported failure may not depend on which worker
+// happened to hit its panic first.
+func TestRunParallelLowestIndexWinsWithJobZero(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				s, ok := r.(string)
+				if !ok || !strings.Contains(s, "job 0") || !strings.Contains(s, "boom zero") {
+					t.Errorf("workers=%d: recovered %v, want job 0's panic", workers, r)
+				}
+				if strings.Contains(s, "boom five") {
+					t.Errorf("workers=%d: job 5's panic reported instead of job 0's", workers)
+				}
+			}()
+			jobs := make([]func(), 8)
+			for i := range jobs {
+				i := i
+				jobs[i] = func() {
+					switch i {
+					case 0:
+						panic("boom zero")
+					case 5:
+						panic("boom five")
+					}
+				}
+			}
+			runParallel(workers, jobs)
+		}()
+	}
 }
 
 func TestMapNOrdersResults(t *testing.T) {

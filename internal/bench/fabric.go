@@ -69,6 +69,51 @@ func fabricSpecs(n int) []fabricSpec {
 	}
 }
 
+// fabricDrive is the shared state of one fabricRun: the sink counts
+// deliveries and recycles packets; per-source injectors pace themselves
+// off the uplink-free instant. Both run as argument-style events and
+// pooled packets, so a sweep point's steady state allocates nothing.
+type fabricDrive struct {
+	k         *sim.Kernel
+	f         *myrinet.Fabric
+	payload   []byte
+	delivered int
+	last      sim.Time
+}
+
+// Arrive implements myrinet.Sink.
+func (dr *fabricDrive) Arrive(p *myrinet.Packet) {
+	dr.delivered++
+	dr.last = dr.k.Now()
+	dr.f.Release(p)
+}
+
+// fabricInjector feeds one source's destination list into the fabric,
+// back-to-back: each next injection fires when the uplink frees.
+type fabricInjector struct {
+	dr    *fabricDrive
+	hdr   int
+	src   int
+	dests []int
+	next  int
+}
+
+func injectNext(a any) {
+	in := a.(*fabricInjector)
+	if in.next >= len(in.dests) {
+		return
+	}
+	dr := in.dr
+	pkt := dr.f.NewPacket()
+	pkt.Src, pkt.Dst = in.src, in.dests[in.next]
+	pkt.Type = myrinet.Data
+	pkt.SetPayload(dr.payload)
+	pkt.HeaderBytes = in.hdr
+	in.next++
+	srcDone := dr.f.Inject(pkt)
+	dr.k.AtArg(srcDone, injectNext, in)
+}
+
 // fabricRun drives one traffic pattern over a fresh fabric: every source
 // injects its destination list back-to-back, each next injection paced
 // by the instant the source's uplink frees. Returns the virtual time of
@@ -78,44 +123,27 @@ func fabricRun(spec fabricSpec, p *cost.Params, pattern func(src, n int) []int, 
 	f := spec.build(k, p)
 	n := f.Nodes()
 
-	var last sim.Time
-	delivered := 0
+	dr := &fabricDrive{k: k, f: f, payload: make([]byte, size)}
 	for i := 0; i < n; i++ {
-		f.Attach(i, myrinet.SinkFunc(func(*myrinet.Packet) {
-			delivered++
-			last = k.Now()
-		}))
+		f.Attach(i, dr)
 	}
 
 	total, hops := 0, 0
 	for src := 0; src < n; src++ {
-		src := src
 		dests := pattern(src, n)
 		total += len(dests)
 		for _, d := range dests {
 			hops += f.Hops(src, d)
 		}
-		var inject func(i int)
-		inject = func(i int) {
-			if i >= len(dests) {
-				return
-			}
-			pkt := &myrinet.Packet{
-				Src: src, Dst: dests[i], Type: myrinet.Data,
-				Payload: make([]byte, size), HeaderBytes: p.FMHeaderBytes,
-			}
-			srcDone := f.Inject(pkt)
-			k.At(srcDone, func() { inject(i + 1) })
-		}
-		k.At(0, func() { inject(0) })
+		k.AtArg(0, injectNext, &fabricInjector{dr: dr, hdr: p.FMHeaderBytes, src: src, dests: dests})
 	}
 	if err := k.RunAll(); err != nil {
 		panic(err)
 	}
-	if delivered != total {
-		panic(fmt.Sprintf("bench: %s delivered %d/%d packets", spec.name, delivered, total))
+	if dr.delivered != total {
+		panic(fmt.Sprintf("bench: %s delivered %d/%d packets", spec.name, dr.delivered, total))
 	}
-	return sim.Duration(last), total, float64(hops) / float64(total)
+	return sim.Duration(dr.last), total, float64(hops) / float64(total)
 }
 
 // allToAll sends `rounds` packets from every node to every other node,

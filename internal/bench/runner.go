@@ -43,6 +43,8 @@ type Options struct {
 	// FabricNodes sizes the fabric-comparison experiment (all-to-all and
 	// bisection traffic on crossbar vs. line vs. Clos).
 	FabricNodes int
+	// ScaleNodes is the Clos node-count sweep for the scale experiment.
+	ScaleNodes []int
 }
 
 // DefaultOptions returns a sweep that reproduces every curve shape in a
@@ -55,6 +57,7 @@ func DefaultOptions() Options {
 		Rounds:      metrics.PaperPingPongRounds,
 		Workers:     defaultWorkers(),
 		FabricNodes: 64,
+		ScaleNodes:  []int{64, 128, 256, 512, 1024},
 	}
 }
 
@@ -128,9 +131,31 @@ func All() []Experiment {
 	}
 }
 
+// Extended returns experiments that are registered but excluded from
+// All() — and therefore from `-experiment all` — because their runtime
+// dwarfs the paper reproductions. Run them by id.
+func Extended() []Experiment {
+	return []Experiment{
+		{"scale", "Clos scaling sweep: 64 to 1024 nodes, raw fabric and full FM stack", Scale},
+	}
+}
+
+// Registry returns every known experiment: the paper set plus the
+// extended set.
+func Registry() []Experiment { return append(All(), Extended()...) }
+
+// IDs returns every valid experiment id, in registry order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
 // ByID looks an experiment up; ok is false for unknown IDs.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
+	for _, e := range Registry() {
 		if e.ID == id {
 			return e, true
 		}

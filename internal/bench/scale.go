@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"fm/internal/cost"
+	"fm/internal/metrics"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+)
+
+// The scale experiment: the fabrics comparison at production sizes. It
+// sweeps full-bisection 2-level Clos fabrics from 64 to 1024 nodes and
+// drives each with all-to-all and bisection traffic at the raw network
+// level, plus a complete-FM-stack all-to-all (hosts, SBus, LANai, LCP,
+// flow control on every node). Before the engine went allocation-light
+// (pooled packets, closure-free events, demand-cached routes) the
+// 1024-node points were impractical to run; now they are a routine
+// check that the simulated fabric and protocol scale together.
+//
+// The experiment is in the extended registry, not `-experiment all`:
+// the 1024-node FM point simulates over a million full-stack messages
+// and dominates any all-experiments run.
+
+// closSpec returns the full-bisection Clos at n nodes, sized by the same
+// geometry the fabrics experiment uses (spines = leaves = groups).
+func closSpec(n int) fabricSpec {
+	g, groups := fabricGeometry(n)
+	_, _, _, ports := closGeometry(n)
+	return fabricSpec{
+		name:     fmt.Sprintf("clos-%d", n),
+		switches: 2 * groups,
+		build: func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
+			return myrinet.NewClos(k, p, groups, groups, g, ports)
+		},
+	}
+}
+
+// Scale regenerates the scaling sweep over opt.ScaleNodes (default
+// 64..1024). Every measurement is an isolated simulation, so the sweep
+// points fan out over the worker pool like any other experiment.
+func Scale(opt Options) *Report {
+	p := cost.Default()
+	nodes := opt.ScaleNodes
+	if len(nodes) == 0 {
+		nodes = DefaultOptions().ScaleNodes
+	}
+	const size = 112 // 112B payload + 16B header = the paper's 128B frame
+	r := &Report{ID: "scale", Title: fmt.Sprintf("Clos scaling, %d to %d nodes", nodes[0], nodes[len(nodes)-1])}
+
+	type rawRes struct {
+		bw, hops float64
+	}
+	type fmRes struct {
+		bw      float64
+		elapsed sim.Duration
+	}
+	a2a := make([]rawRes, len(nodes))
+	bis := make([]rawRes, len(nodes))
+	fm := make([]fmRes, len(nodes))
+	var jobs []func()
+	for i, n := range nodes {
+		i, n := i, n
+		jobs = append(jobs,
+			func() {
+				elapsed, packets, hops := fabricRun(closSpec(n), p, allToAll(1), size)
+				a2a[i] = rawRes{bw: metrics.Bandwidth(size, packets, elapsed), hops: hops}
+			},
+			func() {
+				elapsed, packets, _ := fabricRun(closSpec(n), p, bisection(32), size)
+				bis[i] = rawRes{bw: metrics.Bandwidth(size, packets, elapsed)}
+			},
+			func() {
+				elapsed, bw := fmClosAllToAll(n, size, p)
+				fm[i] = fmRes{bw: bw, elapsed: elapsed}
+			},
+		)
+	}
+	runParallel(opt.Workers, jobs)
+
+	ms := func(d sim.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d)/float64(sim.Millisecond))
+	}
+	for i, n := range nodes {
+		g, groups := fabricGeometry(n)
+		r.KVs = append(r.KVs,
+			KV{fmt.Sprintf("N=%4d raw all-to-all agg. BW (MB/s)", n), fmt.Sprintf("%.0f", a2a[i].bw),
+				fmt.Sprintf("%d leaves x %d nodes", groups, g)},
+			KV{fmt.Sprintf("N=%4d raw all-to-all mean hops", n), fmt.Sprintf("%.2f", a2a[i].hops), "-"},
+			KV{fmt.Sprintf("N=%4d raw bisection BW (MB/s)", n), fmt.Sprintf("%.0f", bis[i].bw), "full bisection"},
+			KV{fmt.Sprintf("N=%4d FM all-to-all completion (ms)", n), ms(fm[i].elapsed), "-"},
+			KV{fmt.Sprintf("N=%4d FM delivered payload BW (MB/s)", n), fmt.Sprintf("%.1f", fm[i].bw), "-"},
+		)
+	}
+
+	linkMBps := float64(sim.Second/p.LinkByte) / metrics.MiB
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("every fabric is a full-bisection 2-level Clos (spines = leaves); raw link rate %.0f MB/s per cable", linkMBps),
+		"raw points: one all-to-all round and 32 bisection packets per node, no host stack",
+		"FM points: one all-to-all round (N*(N-1) messages) through the complete FM 1.0 layer on every node",
+	)
+	return r
+}

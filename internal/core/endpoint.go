@@ -3,7 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"fm/internal/cost"
 	"fm/internal/host"
@@ -61,8 +61,12 @@ type Endpoint struct {
 	cachedSendConsumed uint64 // host's cached copy of the LANai's counter
 	cachedOutConsumed  uint64 // all-DMA staging equivalent
 
-	// Receive side.
+	// Receive side. pendingAcks only holds sources with acks actually
+	// pending (entries are deleted when consumed, so flushAcks never
+	// scans idle peers); their seq buffers park on seqBufs for reuse.
 	pendingAcks  map[int][]uint64 // src -> accepted seqs not yet acked
+	seqBufs      [][]uint64       // free list of pending-ack buffers
+	ackSrcs      []int            // flushAcks scratch, reused per call
 	consumed     uint64           // packets popped from the host receive queue
 	consumedSync uint64           // last value pushed to the LANai register
 
@@ -167,14 +171,11 @@ func (ep *Endpoint) Send(dst, handler int, payload []byte) error {
 
 	ep.cpu.Advance(ep.p.HostSendCall)
 
-	pkt := &myrinet.Packet{
-		Src:         ep.NodeID(),
-		Dst:         dst,
-		Type:        myrinet.Data,
-		Handler:     handler,
-		Payload:     append([]byte(nil), payload...), // the layer copies data off the user buffer
-		HeaderBytes: ep.p.FMHeaderBytes,
-	}
+	pkt := ep.newPacket()
+	pkt.Dst = dst
+	pkt.Type = myrinet.Data
+	pkt.Handler = handler
+	pkt.SetPayload(payload) // the layer copies data off the user buffer
 
 	if ep.cfg.FlowControl {
 		ep.cpu.Advance(ep.p.HostFlowControlSend)
@@ -192,6 +193,21 @@ func (ep *Endpoint) Send(dst, handler int, payload []byte) error {
 	ep.stats.Sent++
 	return nil
 }
+
+// newPacket draws a blank frame from the fabric's packet pool with this
+// endpoint's source id and header size filled in. Ownership follows the
+// packet: the sender hands it to the network, the receiving endpoint (or
+// LCP consumer) releases it after its handler returns. See DESIGN.md
+// "Performance" for the full ownership rules.
+func (ep *Endpoint) newPacket() *myrinet.Packet {
+	pkt := ep.dev.Fab.NewPacket()
+	pkt.Src = ep.NodeID()
+	pkt.HeaderBytes = ep.p.FMHeaderBytes
+	return pkt
+}
+
+// release recycles a fully consumed packet to the fabric's pool.
+func (ep *Endpoint) release(pkt *myrinet.Packet) { ep.dev.Fab.Release(pkt) }
 
 // waitWindow blocks until an outstanding slot toward dst is free,
 // processing the network while waiting (acknowledgements arrive through
@@ -215,15 +231,44 @@ func (ep *Endpoint) windowFull(dst int) bool {
 	return len(ep.outstanding) >= ep.cfg.WindowSlots
 }
 
+// queueAck records an accepted sequence for a future acknowledgement and
+// returns how many are now pending toward src. New sources draw their
+// seq buffer from the free list.
+func (ep *Endpoint) queueAck(src int, seq uint64) int {
+	buf, ok := ep.pendingAcks[src]
+	if !ok {
+		if n := len(ep.seqBufs) - 1; n >= 0 {
+			buf = ep.seqBufs[n]
+			ep.seqBufs[n] = nil
+			ep.seqBufs = ep.seqBufs[:n]
+		}
+	}
+	buf = append(buf, seq)
+	ep.pendingAcks[src] = buf
+	return len(buf)
+}
+
+// takeAcks removes and returns src's pending seqs, parking the buffer on
+// the free list (the caller must finish with the slice before the next
+// queueAck can hand it out again — coalesce copies it immediately).
+func (ep *Endpoint) takeAcks(src int) []uint64 {
+	seqs := ep.pendingAcks[src]
+	if len(seqs) == 0 {
+		return nil
+	}
+	delete(ep.pendingAcks, src)
+	ep.seqBufs = append(ep.seqBufs, seqs[:0])
+	return seqs
+}
+
 // attachAcks piggybacks every pending acknowledgement for pkt.Dst.
 func (ep *Endpoint) attachAcks(pkt *myrinet.Packet) {
-	seqs := ep.pendingAcks[pkt.Dst]
+	seqs := ep.takeAcks(pkt.Dst)
 	if len(seqs) == 0 {
 		return
 	}
 	ep.cpu.Advance(ep.p.HostAckBuild)
-	pkt.Acks = coalesce(seqs)
-	delete(ep.pendingAcks, pkt.Dst)
+	pkt.Acks = coalesce(pkt.Acks[:0], seqs)
 	ep.stats.AcksPiggybacked++
 	ep.stats.SeqsAcked += uint64(len(seqs))
 }
@@ -296,16 +341,17 @@ func (ep *Endpoint) ensureSpace(q *ring.Ring[*myrinet.Packet], cached *uint64) {
 	}
 }
 
-// coalesce turns a set of sequence numbers into sorted inclusive ranges.
-func coalesce(seqs []uint64) []myrinet.SeqRange {
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	var out []myrinet.SeqRange
+// coalesce turns a set of sequence numbers into sorted inclusive ranges,
+// appending to dst (pass dst[:0] to reuse a packet's ack buffer). seqs is
+// sorted in place; the caller is discarding it.
+func coalesce(dst []myrinet.SeqRange, seqs []uint64) []myrinet.SeqRange {
+	slices.Sort(seqs)
 	for _, s := range seqs {
-		if n := len(out); n > 0 && out[n-1].Hi+1 == s {
-			out[n-1].Hi = s
+		if n := len(dst); n > 0 && dst[n-1].Hi+1 == s {
+			dst[n-1].Hi = s
 			continue
 		}
-		out = append(out, myrinet.SeqRange{Lo: s, Hi: s})
+		dst = append(dst, myrinet.SeqRange{Lo: s, Hi: s})
 	}
-	return out
+	return dst
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"fm/internal/myrinet"
 	"fm/internal/sim"
@@ -75,7 +75,9 @@ func (ep *Endpoint) popRecv() *myrinet.Packet {
 // process interprets one packet on the host (the LANai does no
 // interpretation; "this simple LCP leaves packet interpretation and
 // sorting to the host", Section 4.4). It reports whether a data packet
-// was delivered to a handler.
+// was delivered to a handler. The packet's ownership ends here: it is
+// recycled to the fabric pool (ack, delivered data) or re-armed in place
+// for retransmission (reject).
 func (ep *Endpoint) process(pkt *myrinet.Packet) bool {
 	// Piggybacked acknowledgements ride on any packet type.
 	if len(pkt.Acks) > 0 {
@@ -83,32 +85,26 @@ func (ep *Endpoint) process(pkt *myrinet.Packet) bool {
 	}
 	switch pkt.Type {
 	case myrinet.Ack:
+		ep.release(pkt)
 		return false
 	case myrinet.Reject:
-		// One of our packets came back: park it for retransmission. The
-		// reject queue has a reserved slot for every outstanding packet,
-		// so this push cannot overflow — that is the deadlock-freedom
-		// argument of Section 4.5.
+		// One of our packets came back: park it for retransmission,
+		// reusing the same frame (flip it back into a Retransmit in
+		// place — the payload never moves). The reject queue has a
+		// reserved slot for every outstanding packet, so this push
+		// cannot overflow — that is the deadlock-freedom argument of
+		// Section 4.5.
 		ep.cpu.Advance(ep.p.HostFlowControlRecv)
 		ep.stats.RejectsReceived++
-		retx := &myrinet.Packet{
-			Src:         ep.NodeID(),
-			Dst:         pkt.Src,
-			Type:        myrinet.Retransmit,
-			Handler:     pkt.Handler,
-			Seq:         pkt.Seq,
-			Payload:     pkt.Payload,
-			HeaderBytes: ep.p.FMHeaderBytes,
-			Retries:     pkt.Retries + 1,
-			Injected:    pkt.Injected,
-		}
-		ep.rejectQ.Push(rejectedEntry{pkt: retx, retryAt: ep.Now().Add(ep.cfg.RetryDelay)})
+		pkt.Src, pkt.Dst = ep.NodeID(), pkt.Src
+		pkt.Type = myrinet.Retransmit
+		pkt.Retries++
+		pkt.Acks = pkt.Acks[:0] // consumed above; attachAcks may refill
+		ep.rejectQ.Push(rejectedEntry{pkt: pkt, retryAt: ep.Now().Add(ep.cfg.RetryDelay)})
 		// Arm a wakeup at the retry deadline: a host parked in
 		// WaitIncoming with no inbound traffic must still come back to
 		// retransmit (the stand-in for FM's periodic host polling).
-		ep.dev.K.After(ep.cfg.RetryDelay+sim.Microsecond, func() {
-			ep.dev.HostRecvAvail.Pulse()
-		})
+		ep.dev.HostRecvAvail.PulseAfter(ep.cfg.RetryDelay + sim.Microsecond)
 		return false
 	case myrinet.Data, myrinet.Retransmit:
 		ep.deliver(pkt)
@@ -118,7 +114,10 @@ func (ep *Endpoint) process(pkt *myrinet.Packet) bool {
 	}
 }
 
-// deliver records flow-control state and runs the handler.
+// deliver records flow-control state, runs the handler, and recycles the
+// frame: the payload "does not persist beyond the return of the handler"
+// (Section 3.1), which is exactly the window in which the packet is ours
+// to release.
 func (ep *Endpoint) deliver(pkt *myrinet.Packet) {
 	if ep.cfg.FlowControl {
 		ep.cpu.Advance(ep.p.HostFlowControlRecv)
@@ -127,10 +126,10 @@ func (ep *Endpoint) deliver(pkt *myrinet.Packet) {
 			if ep.cfg.CheckInvariants {
 				panic(fmt.Sprintf("fm: duplicate delivery src=%d seq=%d", pkt.Src, pkt.Seq))
 			}
+			ep.release(pkt)
 			return
 		}
-		ep.pendingAcks[pkt.Src] = append(ep.pendingAcks[pkt.Src], pkt.Seq)
-		if len(ep.pendingAcks[pkt.Src]) >= ep.cfg.AckBatch {
+		if ep.queueAck(pkt.Src, pkt.Seq) >= ep.cfg.AckBatch {
 			ep.sendAck(pkt.Src)
 		}
 	}
@@ -145,6 +144,7 @@ func (ep *Endpoint) deliver(pkt *myrinet.Packet) {
 		ep.latency.Record(ep.Now().Sub(pkt.Injected))
 	}
 	h(pkt.Src, pkt.Payload)
+	ep.release(pkt)
 }
 
 // isDuplicate screens (src, seq) pairs. Under the protocol duplicates are
@@ -196,18 +196,12 @@ func (ep *Endpoint) shedOverload() {
 			}
 			ep.cpu.Advance(ep.p.HostFlowControlRecv)
 			ep.stats.RejectsSent++
-			back := &myrinet.Packet{
-				Src:         ep.NodeID(),
-				Dst:         pkt.Src,
-				Type:        myrinet.Reject,
-				Handler:     pkt.Handler,
-				Seq:         pkt.Seq,
-				Payload:     pkt.Payload,
-				HeaderBytes: ep.p.FMHeaderBytes,
-				Retries:     pkt.Retries,
-				Injected:    pkt.Injected,
-			}
-			ep.pushFrame(back)
+			// Bounce the same frame: flip it into a Reject in place and
+			// return it to its sender (the payload rides back with it).
+			pkt.Src, pkt.Dst = ep.NodeID(), pkt.Src
+			pkt.Type = myrinet.Reject
+			pkt.Acks = pkt.Acks[:0] // consumed above
+			ep.pushFrame(pkt)
 		default:
 			// Never bounce control traffic; process it normally.
 			ep.process(pkt)
@@ -235,34 +229,32 @@ func (ep *Endpoint) flushAcks() {
 	if !ep.dev.HostRecvQ.Empty() {
 		return
 	}
-	// Sorted iteration keeps the simulation deterministic.
-	srcs := make([]int, 0, len(ep.pendingAcks))
+	// Sorted iteration keeps the simulation deterministic. Every entry
+	// holds at least one pending seq (consumed entries are deleted), and
+	// the source scratch persists on the endpoint, so a quiescent
+	// Extract allocates and scans nothing.
+	srcs := ep.ackSrcs[:0]
 	for src := range ep.pendingAcks {
 		srcs = append(srcs, src)
 	}
-	sort.Ints(srcs)
+	slices.Sort(srcs)
+	ep.ackSrcs = srcs
 	for _, src := range srcs {
-		if len(ep.pendingAcks[src]) > 0 {
-			ep.sendAck(src)
-		}
+		ep.sendAck(src)
 	}
 }
 
 // sendAck emits one standalone (possibly aggregated) acknowledgement.
 func (ep *Endpoint) sendAck(src int) {
-	seqs := ep.pendingAcks[src]
+	seqs := ep.takeAcks(src)
 	if len(seqs) == 0 {
 		return
 	}
-	delete(ep.pendingAcks, src)
 	ep.cpu.Advance(ep.p.HostAckBuild)
-	pkt := &myrinet.Packet{
-		Src:         ep.NodeID(),
-		Dst:         src,
-		Type:        myrinet.Ack,
-		Acks:        coalesce(seqs),
-		HeaderBytes: ep.p.FMHeaderBytes,
-	}
+	pkt := ep.newPacket()
+	pkt.Dst = src
+	pkt.Type = myrinet.Ack
+	pkt.Acks = coalesce(pkt.Acks[:0], seqs)
 	ep.stats.AcksSent++
 	ep.stats.SeqsAcked += uint64(len(seqs))
 	ep.pushFrame(pkt)

@@ -58,7 +58,11 @@ func (c *CPU) Proc() *sim.Proc {
 // Now returns the current virtual time.
 func (c *CPU) Now() sim.Time { return c.K.Now() }
 
-// Advance charges d of pure host computation.
+// Advance charges d of pure host computation. Like every blocking CPU
+// method, it costs no heap allocation in the steady state: sleeps and
+// signal waits schedule argument-style kernel events and reuse the
+// process's embedded wait registration (see DESIGN.md "Performance"),
+// so per-message host charges never churn the garbage collector.
 func (c *CPU) Advance(d sim.Duration) { c.Proc().Sleep(d) }
 
 // Memcpy charges a host memory-to-memory copy of n bytes (user buffer to

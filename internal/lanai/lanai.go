@@ -117,6 +117,17 @@ type Device struct {
 	// hostDMAFree is when the host-DMA engine can next start.
 	hostDMAFree sim.Time
 
+	// dmaInflight is the FIFO of packets aboard in-flight host-DMA
+	// transfers, with dmaCounts holding the per-transfer packet counts.
+	// Completion events (hostDMADone) pop from the front; keeping the
+	// FIFO on the device instead of capturing each batch in an event
+	// closure makes delivery scheduling allocation-free. The storage is
+	// compacted for reuse whenever the engine drains.
+	dmaInflight []*myrinet.Packet
+	dmaCounts   []int
+	dmaHead     int
+	dmaCntHead  int
+
 	// Synthetic send state for the LANai-to-LANai experiments (Fig. 3):
 	// the control program sends synthRemaining frames of synthSize bytes
 	// from a fixed buffer, no host involved.
@@ -208,14 +219,43 @@ func (d *Device) DeliverToHost(batch []*myrinet.Packet) sim.Time {
 	d.stats.HostDMABatches++
 	d.stats.HostDMAPackets += uint64(len(batch))
 	d.stats.Delivered += uint64(len(batch))
-	d.K.At(end, func() {
-		for _, p := range batch {
-			d.HostRecvQ.Push(p)
-		}
-		d.HostRecvAvail.Pulse()
-		d.Work.Pulse()
-	})
+	d.dmaInflight = append(d.dmaInflight, batch...)
+	d.dmaCounts = append(d.dmaCounts, len(batch))
+	d.K.AtArg(end, hostDMADone, d)
 	return end
+}
+
+// hostDMADone completes the oldest in-flight host-DMA transfer: its
+// packets appear in the host receive queue and the host is woken.
+// Transfers complete in issue order because hostDMAFree serializes the
+// engine, so popping the FIFO front always matches the firing event.
+func hostDMADone(a any) {
+	d := a.(*Device)
+	n := d.dmaCounts[d.dmaCntHead]
+	d.dmaCntHead++
+	for i := 0; i < n; i++ {
+		d.HostRecvQ.Push(d.dmaInflight[d.dmaHead+i])
+		d.dmaInflight[d.dmaHead+i] = nil
+	}
+	d.dmaHead += n
+	if d.dmaHead == len(d.dmaInflight) {
+		d.dmaInflight = d.dmaInflight[:0]
+		d.dmaCounts = d.dmaCounts[:0]
+		d.dmaHead, d.dmaCntHead = 0, 0
+	} else if d.dmaHead > len(d.dmaInflight)/2 {
+		// The engine never fully drained: slide the live tail down so
+		// the dead prefix cannot grow without bound under sustained
+		// back-to-back transfers (amortized O(1) per packet).
+		live := copy(d.dmaInflight, d.dmaInflight[d.dmaHead:])
+		clear(d.dmaInflight[live:])
+		d.dmaInflight = d.dmaInflight[:live]
+		d.dmaHead = 0
+		liveCnt := copy(d.dmaCounts, d.dmaCounts[d.dmaCntHead:])
+		d.dmaCounts = d.dmaCounts[:liveCnt]
+		d.dmaCntHead = 0
+	}
+	d.HostRecvAvail.Pulse()
+	d.Work.Pulse()
 }
 
 // Inject pushes p into the network and returns when the outgoing channel
@@ -233,11 +273,17 @@ func (d *Device) PullFromHost() (*myrinet.Packet, sim.Time) {
 	p := d.HostOutQ.Peek()
 	_, end := d.Bus.DMA(d.hostDMAFree, p.WireBytes())
 	d.hostDMAFree = end
-	d.K.At(end, func() {
-		d.HostOutQ.Pop()
-		d.SendFreed.Pulse()
-	})
+	d.K.AtArg(end, pullFromHostDone, d)
 	return p, end
+}
+
+// pullFromHostDone releases the oldest staged outbound slot when its
+// pull transfer completes (pulls complete in issue order, like
+// deliveries — the host-DMA engine is serial).
+func pullFromHostDone(a any) {
+	d := a.(*Device)
+	d.HostOutQ.Pop()
+	d.SendFreed.Pulse()
 }
 
 // HostDoorbell is rung by the host (after its SBus control write) to tell
@@ -275,12 +321,15 @@ func (d *Device) AddSynthetic(n int) {
 // SyntheticPending reports whether synthetic sends remain.
 func (d *Device) SyntheticPending() bool { return d.synthRemaining > 0 }
 
-// NextSynthetic builds the next synthetic frame addressed to dst.
+// NextSynthetic builds the next synthetic frame addressed to dst. The
+// frame comes from the fabric's packet pool and copies the on-card
+// pattern buffer, so the consumer can recycle it with Fab.Release.
 func (d *Device) NextSynthetic(dst int) *myrinet.Packet {
 	d.synthRemaining--
-	return &myrinet.Packet{
-		Src: d.ID, Dst: dst, Type: myrinet.Data,
-		Payload:     d.synthPayload,
-		HeaderBytes: d.P.FMHeaderBytes,
-	}
+	p := d.Fab.NewPacket()
+	p.Src, p.Dst = d.ID, dst
+	p.Type = myrinet.Data
+	p.SetPayload(d.synthPayload)
+	p.HeaderBytes = d.P.FMHeaderBytes
+	return p
 }

@@ -60,7 +60,9 @@ type Options struct {
 	ExtraInstrPerPacket int
 	// OnReceive consumes frames in non-HostDelivery mode. It runs in
 	// process context at zero cost; drivers use it for LANai-level
-	// ping-pong and counting.
+	// ping-pong and counting. The frame is recycled to the fabric's
+	// packet pool when OnReceive returns: it must not retain the packet
+	// or its payload (copy what it needs, like an FM handler).
 	OnReceive func(p *myrinet.Packet)
 	// SynthDst is the destination node for synthetic frames.
 	SynthDst int
@@ -77,6 +79,7 @@ type LCP struct {
 	d     *lanai.Device
 	o     Options
 	stats Stats
+	batch []*myrinet.Packet // host-DMA staging scratch, reused per batch
 }
 
 // Start spawns the control program process on d.
@@ -172,8 +175,13 @@ func (l *LCP) recvOne(p *sim.Proc) {
 	pkt := d.PopRx()
 	if l.o.HostDelivery {
 		d.RecvQ.Push(pkt)
-	} else if l.o.OnReceive != nil {
-		l.o.OnReceive(pkt)
+	} else {
+		// Fig. 3 mode: the frame dies on the card. Recycle it once the
+		// consumer has seen it.
+		if l.o.OnReceive != nil {
+			l.o.OnReceive(pkt)
+		}
+		d.Fab.Release(pkt)
 	}
 }
 
@@ -201,11 +209,11 @@ func (l *LCP) deliverBatch(p *sim.Proc) {
 	if n == 0 {
 		return // space vanished while we paid setup; retry next trip
 	}
-	batch := make([]*myrinet.Packet, n)
-	for i := range batch {
-		batch[i] = d.RecvQ.Pop()
+	l.batch = l.batch[:0]
+	for i := 0; i < n; i++ {
+		l.batch = append(l.batch, d.RecvQ.Pop())
 	}
-	d.DeliverToHost(batch)
+	d.DeliverToHost(l.batch) // the device copies the batch out
 }
 
 // run is the main loop (Figure 2). It never returns; the kernel unwinds

@@ -145,13 +145,13 @@ func (ep *Endpoint) Send(dst, handler int, payload []byte) error {
 	ep.cpu.Advance(sim.Duration(len(payload)) * ep.p.APIChecksumByte)
 
 	ep.nextSeq++
-	pkt := &myrinet.Packet{
-		Src: ep.NodeID(), Dst: dst, Type: myrinet.APIMessage,
-		Handler:     handler,
-		Seq:         ep.nextSeq,
-		Payload:     append([]byte(nil), payload...),
-		HeaderBytes: ep.p.APIHeaderBytes,
-	}
+	pkt := ep.dev.Fab.NewPacket()
+	pkt.Src, pkt.Dst = ep.NodeID(), dst
+	pkt.Type = myrinet.APIMessage
+	pkt.Handler = handler
+	pkt.Seq = ep.nextSeq
+	pkt.SetPayload(payload)
+	pkt.HeaderBytes = ep.p.APIHeaderBytes
 
 	if ep.cfg.Variant == SendDMA {
 		ep.cpu.Advance(ep.p.APISendDMAExtra)
@@ -224,6 +224,7 @@ func (ep *Endpoint) Extract() int {
 		ep.cpu.MemRead(len(pkt.Payload))
 		ep.cpu.Advance(ep.p.HostHandlerDispatch)
 		h(pkt.Src, pkt.Payload)
+		ep.dev.Fab.Release(pkt) // the buffer dies with the handler
 		n++
 	}
 	return n

@@ -61,16 +61,52 @@ type Stats struct {
 }
 
 // Fabric is the assembled network: node ports, switches, links, and the
-// source-routing table. Construct with NewFabric from an arbitrary
-// Topology, or with the canned NewCrossbar / NewLine / NewClos builders.
+// source router. Construct with NewFabric from an arbitrary Topology, or
+// with the canned NewCrossbar / NewLine / NewClos builders.
 type Fabric struct {
 	k        *sim.Kernel
 	p        *cost.Params
 	sinks    []Sink
 	uplinks  []*sim.Resource // node i -> first switch
-	routes   map[[2]int][]hop
+	router   *router
 	switches []*Switch
 	stats    Stats
+
+	// pool is the fabric-wide packet free list. One simulation is one
+	// goroutine, so no locking; recycled packets keep their payload/ack
+	// buffer capacity, making the steady-state packet path allocation-free.
+	pool []*Packet
+
+	// deliverFn is the shared delivery event callback (arg = *Packet),
+	// allocated once so Inject schedules deliveries without a closure.
+	deliverFn func(any)
+}
+
+// NewPacket returns a packet for injection into this fabric, recycled
+// from the free list when possible. The caller owns it until the fabric
+// delivers it to a sink; whoever consumes it hands it back with Release.
+func (f *Fabric) NewPacket() *Packet {
+	if n := len(f.pool); n > 0 {
+		p := f.pool[n-1]
+		f.pool[n-1] = nil
+		f.pool = f.pool[:n-1]
+		p.pooled = false
+		return p
+	}
+	return &Packet{}
+}
+
+// Release returns a consumed packet (and its payload buffer) to the free
+// list. The caller must hold the only live reference: a packet may not be
+// released while queued, in flight, or before its handler has returned.
+// Releasing twice panics, as it indicates an ownership bug.
+func (f *Fabric) Release(p *Packet) {
+	if p.pooled {
+		panic(fmt.Sprintf("myrinet: double release of packet %v", p))
+	}
+	p.reset()
+	p.pooled = true
+	f.pool = append(f.pool, p)
 }
 
 // NewFabric compiles a Topology into a live fabric on the given kernel:
@@ -92,7 +128,14 @@ func NewFabric(k *sim.Kernel, p *cost.Params, t *Topology) *Fabric {
 	for i := range t.nodes {
 		f.uplinks = append(f.uplinks, sim.NewResource(k, fmt.Sprintf("node%d.up", i)))
 	}
-	f.routes = t.routes(f.switches)
+	f.router = t.newRouter(f.switches)
+	f.deliverFn = func(a any) {
+		pkt := a.(*Packet)
+		if !pkt.Verify() {
+			panic(fmt.Sprintf("myrinet: frame %v corrupted in flight (payload aliased?)", pkt))
+		}
+		f.sinks[pkt.Dst].Arrive(pkt)
+	}
 	return f
 }
 
@@ -146,7 +189,12 @@ func NewLine(k *sim.Kernel, p *cost.Params, nSwitches, nodesPerSwitch, ports int
 func (f *Fabric) Nodes() int { return len(f.sinks) }
 
 // Hops returns the number of switch crossings between src and dst.
-func (f *Fabric) Hops(src, dst int) int { return len(f.routes[[2]int{src, dst}]) }
+func (f *Fabric) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return len(f.router.route(src, dst))
+}
 
 // NumSwitches returns the number of switches in the fabric.
 func (f *Fabric) NumSwitches() int { return len(f.switches) }
@@ -157,7 +205,10 @@ func (f *Fabric) SwitchAt(i int) *Switch { return f.switches[i] }
 // Route returns the switches a packet from src to dst crosses, in order.
 // The final entry is the destination's delivery switch.
 func (f *Fabric) Route(src, dst int) []*Switch {
-	route := f.routes[[2]int{src, dst}]
+	if src == dst {
+		return nil
+	}
+	route := f.router.route(src, dst)
 	out := make([]*Switch, len(route))
 	for i, h := range route {
 		out[i] = h.sw
@@ -181,10 +232,13 @@ func (f *Fabric) Stats() Stats { return f.stats }
 // each link carries the frame for WireBytes * 12.5 ns; contention at any
 // switch output serializes FIFO.
 func (f *Fabric) Inject(p *Packet) sim.Time {
-	route, ok := f.routes[[2]int{p.Src, p.Dst}]
-	if !ok {
+	if p.Src == p.Dst || p.Src < 0 || p.Dst < 0 || p.Src >= len(f.sinks) || p.Dst >= len(f.sinks) {
 		panic(fmt.Sprintf("myrinet: no route %d->%d", p.Src, p.Dst))
 	}
+	if p.pooled {
+		panic(fmt.Sprintf("myrinet: inject of released packet %v", p))
+	}
+	route := f.router.route(p.Src, p.Dst)
 	if f.sinks[p.Dst] == nil {
 		panic(fmt.Sprintf("myrinet: node %d has no sink attached", p.Dst))
 	}
@@ -214,13 +268,7 @@ func (f *Fabric) Inject(p *Packet) sim.Time {
 		f.k.Tracef("net", "inject %v tail@%v", p, tail)
 	}
 
-	sink := f.sinks[p.Dst]
-	f.k.At(tail, func() {
-		if !p.Verify() {
-			panic(fmt.Sprintf("myrinet: frame %v corrupted in flight (payload aliased?)", p))
-		}
-		sink.Arrive(p)
-	})
+	f.k.AtArg(tail, f.deliverFn, p)
 	return srcDone
 }
 

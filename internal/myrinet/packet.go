@@ -89,6 +89,27 @@ type Packet struct {
 	// at delivery; it catches buffer-aliasing bugs in the layers above
 	// (a payload mutated while "on the wire" means a missing copy).
 	crc uint64
+
+	// pooled marks a packet currently parked in its fabric's free list;
+	// it catches double-release and use-after-release ownership bugs.
+	pooled bool
+}
+
+// reset clears a packet for reuse, retaining the payload and ack
+// buffers' capacity so a recycled packet carries no allocation cost.
+func (p *Packet) reset() {
+	*p = Packet{
+		Payload: p.Payload[:0],
+		Acks:    p.Acks[:0],
+	}
+}
+
+// SetPayload copies b into the packet's payload, reusing the packet's
+// buffer capacity. Layers use it instead of assigning a caller-owned
+// slice, so the payload buffer stays under the packet's ownership and
+// can be recycled with it.
+func (p *Packet) SetPayload(b []byte) {
+	p.Payload = append(p.Payload[:0], b...)
 }
 
 // WireBytes returns the total bytes the frame occupies on a link.

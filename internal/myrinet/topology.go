@@ -108,88 +108,162 @@ func (t *Topology) name(sw int) string {
 	return t.switches[sw].name
 }
 
-// routes computes the source-routing table: for every ordered node pair a
-// shortest path through the switch graph, ending with the delivery hop
-// out of the destination's switch.
+// router resolves source routes on demand and caches them. The seed
+// implementation precomputed the full O(nodes²) route table at fabric
+// construction, which made large Clos fabrics expensive to build even
+// for experiments touching a handful of node pairs; the router instead
+// runs one backward BFS per destination *switch* on first demand and
+// caches finished routes keyed by (source switch, destination node) —
+// every node on a leaf shares its co-resident nodes' routes, so a
+// 1024-node Clos caches at most switches×nodes routes, each computed
+// exactly once, instead of nodes² up front.
 //
 // Where several shortest paths exist (Clos fabrics have one per spine),
 // the branch taken is the destination id modulo the number of candidate
 // next hops — deterministic, and it statically spreads unrelated
 // destinations across the parallel paths the way Myrinet's static
 // source-route tables did. Candidate next hops are ordered by output
-// port, so the choice is stable across runs.
-func (t *Topology) routes(switches []*Switch) map[[2]int][]hop {
-	// Forward adjacency (port-ordered) and reverse adjacency for the
-	// backward BFS.
-	fwd := make([][]link, len(t.switches))
-	rev := make([][]int, len(t.switches))
-	for _, l := range t.links {
-		fwd[l.from] = append(fwd[l.from], l)
-		rev[l.to] = append(rev[l.to], l.from)
+// port, so the choice is stable across runs and identical to the eager
+// table the seed computed.
+type router struct {
+	t        *Topology
+	switches []*Switch
+	fwd      [][]link // forward adjacency, port-ordered
+	rev      [][]int  // reverse adjacency for the backward BFS
+	distTo   map[int][]int
+	cache    map[[2]int][]hop // (src switch, dst node) -> route
+	scratch  []link           // candidate buffer reused across lookups
+}
+
+// newRouter builds the adjacency structures and verifies every ordered
+// node pair is routable (construction-time check, so an unroutable
+// topology fails fast even though routes are resolved lazily).
+func (t *Topology) newRouter(switches []*Switch) *router {
+	r := &router{
+		t:        t,
+		switches: switches,
+		fwd:      make([][]link, len(t.switches)),
+		rev:      make([][]int, len(t.switches)),
+		distTo:   map[int][]int{},
+		cache:    map[[2]int][]hop{},
 	}
-	for _, ls := range fwd {
+	for _, l := range t.links {
+		r.fwd[l.from] = append(r.fwd[l.from], l)
+		r.rev[l.to] = append(r.rev[l.to], l.from)
+	}
+	for _, ls := range r.fwd {
 		for i := 1; i < len(ls); i++ { // insertion sort by port; degree is tiny
 			for j := i; j > 0 && ls[j-1].port > ls[j].port; j-- {
 				ls[j-1], ls[j] = ls[j], ls[j-1]
 			}
 		}
 	}
+	r.checkConnected()
+	return r
+}
 
-	// dist[d] is computed lazily: one backward BFS per destination switch.
-	distTo := map[int][]int{}
-	distances := func(dstSw int) []int {
-		if d, ok := distTo[dstSw]; ok {
-			return d
-		}
-		dist := make([]int, len(t.switches))
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[dstSw] = 0
-		queue := []int{dstSw}
+// checkConnected verifies that every switch hosting a node can reach and
+// be reached by every other such switch. It is equivalent to (but far
+// cheaper than) routing all node pairs: if every node switch reaches
+// switch s0 and s0 reaches every node switch, paths exist for all pairs.
+func (r *router) checkConnected() {
+	if len(r.t.nodes) == 0 {
+		return
+	}
+	s0 := r.t.nodes[0].sw
+	reach := func(adj func(int) []int) []bool {
+		seen := make([]bool, len(r.t.switches))
+		seen[s0] = true
+		queue := []int{s0}
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
-			for _, prev := range rev[cur] {
-				if dist[prev] < 0 {
-					dist[prev] = dist[cur] + 1
-					queue = append(queue, prev)
+			for _, next := range adj(cur) {
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
 				}
 			}
 		}
-		distTo[dstSw] = dist
-		return dist
+		return seen
 	}
+	fromS0 := reach(func(sw int) []int {
+		out := make([]int, 0, len(r.fwd[sw]))
+		for _, l := range r.fwd[sw] {
+			out = append(out, l.to)
+		}
+		return out
+	})
+	toS0 := reach(func(sw int) []int { return r.rev[sw] })
+	for i, n := range r.t.nodes {
+		if !fromS0[n.sw] {
+			panic(fmt.Sprintf("myrinet: no path from %s to %s (node %d unreachable)",
+				r.t.name(s0), r.t.name(n.sw), i))
+		}
+		if !toS0[n.sw] {
+			panic(fmt.Sprintf("myrinet: no path from %s to %s (node %d cut off)",
+				r.t.name(n.sw), r.t.name(s0), i))
+		}
+	}
+}
 
-	routes := make(map[[2]int][]hop, len(t.nodes)*(len(t.nodes)-1))
-	for s, sa := range t.nodes {
-		for d, da := range t.nodes {
-			if s == d {
-				continue
+// distances returns (computing and caching on first use) the hop count
+// from every switch to dstSw.
+func (r *router) distances(dstSw int) []int {
+	if d, ok := r.distTo[dstSw]; ok {
+		return d
+	}
+	dist := make([]int, len(r.t.switches))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dstSw] = 0
+	queue := []int{dstSw}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, prev := range r.rev[cur] {
+			if dist[prev] < 0 {
+				dist[prev] = dist[cur] + 1
+				queue = append(queue, prev)
 			}
-			dist := distances(da.sw)
-			if dist[sa.sw] < 0 {
-				panic(fmt.Sprintf("myrinet: no path from %s to %s (nodes %d->%d)",
-					t.name(sa.sw), t.name(da.sw), s, d))
-			}
-			var route []hop
-			cur := sa.sw
-			for cur != da.sw {
-				var cands []link
-				for _, l := range fwd[cur] {
-					if dist[l.to] == dist[cur]-1 {
-						cands = append(cands, l)
-					}
-				}
-				pick := cands[d%len(cands)]
-				route = append(route, hop{sw: switches[pick.from], port: pick.port})
-				cur = pick.to
-			}
-			route = append(route, hop{sw: switches[da.sw], port: da.port})
-			routes[[2]int{s, d}] = route
 		}
 	}
-	return routes
+	r.distTo[dstSw] = dist
+	return dist
+}
+
+// route returns the hop sequence from node src to node dst (src != dst),
+// resolving and caching it on first use. The returned slice is owned by
+// the cache and must not be mutated.
+func (r *router) route(src, dst int) []hop {
+	sa, da := r.t.nodes[src], r.t.nodes[dst]
+	key := [2]int{sa.sw, dst}
+	if rt, ok := r.cache[key]; ok {
+		return rt
+	}
+	dist := r.distances(da.sw)
+	if dist[sa.sw] < 0 {
+		panic(fmt.Sprintf("myrinet: no path from %s to %s (nodes %d->%d)",
+			r.t.name(sa.sw), r.t.name(da.sw), src, dst))
+	}
+	route := make([]hop, 0, dist[sa.sw]+1)
+	cur := sa.sw
+	for cur != da.sw {
+		cands := r.scratch[:0]
+		for _, l := range r.fwd[cur] {
+			if dist[l.to] == dist[cur]-1 {
+				cands = append(cands, l)
+			}
+		}
+		pick := cands[dst%len(cands)]
+		r.scratch = cands[:0]
+		route = append(route, hop{sw: r.switches[pick.from], port: pick.port})
+		cur = pick.to
+	}
+	route = append(route, hop{sw: r.switches[da.sw], port: da.port})
+	r.cache[key] = route
+	return route
 }
 
 // NewClos builds a 2-level folded-Clos (fat-tree) fabric: `leaves` leaf

@@ -2,15 +2,33 @@ package sim
 
 // event is a scheduled callback. Events with equal times fire in
 // insertion order (seq), which makes the kernel deterministic.
+//
+// The callback is carried as a func(any) plus an argument rather than a
+// bare closure: the kernel's hottest schedule sites (process sleeps,
+// signal wakes, packet deliveries) pass a package-level function and a
+// pointer argument, so scheduling an event performs no allocation. Plain
+// closures still work through Kernel.At, which boxes the func() into the
+// argument slot (func values are pointer-shaped, so the boxing itself
+// does not allocate either — only the closure's own capture does).
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	fn  func(any)
+	arg any
 }
+
+// call invokes the event's callback.
+func (e *event) call() { e.fn(e.arg) }
+
+// callClosure adapts a plain func() stored in the argument slot.
+func callClosure(a any) { a.(func())() }
 
 // eventHeap is a hand-rolled binary min-heap keyed by (at, seq). A
 // concrete heap avoids the interface-dispatch overhead of container/heap
-// on the kernel's hottest path.
+// on the kernel's hottest path. The backing array is retained across
+// Push/Pop cycles (and therefore across Run generations on the same
+// kernel), so a steady-state simulation reaches a high-water capacity
+// once and schedules allocation-free from then on.
 type eventHeap struct {
 	ev []event
 }
@@ -45,7 +63,7 @@ func (h *eventHeap) Pop() event {
 	top := h.ev[0]
 	last := len(h.ev) - 1
 	h.ev[0] = h.ev[last]
-	h.ev[last] = event{} // release the closure for GC
+	h.ev[last] = event{} // release the callback and argument for GC
 	h.ev = h.ev[:last]
 	h.siftDown(0)
 	return top

@@ -51,11 +51,20 @@ func (k *Kernel) EventsRun() uint64 { return k.eventsRun }
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics.
 func (k *Kernel) At(t Time, fn func()) {
+	k.AtArg(t, callClosure, fn)
+}
+
+// AtArg schedules fn(arg) at absolute time t. This is the
+// allocation-free form of At: hot schedule sites pass a package-level
+// function and a pointer argument instead of building a closure per
+// event. arg must not be retained by the caller in a way that outlives
+// the event unless that is intended.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	k.heap.Push(event{at: t, seq: k.seq, fn: fn})
+	k.heap.Push(event{at: t, seq: k.seq, fn: fn, arg: arg})
 }
 
 // After schedules fn to run d after the current time.
@@ -64,6 +73,15 @@ func (k *Kernel) After(d Duration, fn func()) {
 		panic("sim: negative delay")
 	}
 	k.At(k.now.Add(d), fn)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time (the
+// allocation-free form of After).
+func (k *Kernel) AfterArg(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.AtArg(k.now.Add(d), fn, arg)
 }
 
 // Run executes events until the queue is empty or the horizon is reached,
@@ -78,7 +96,7 @@ func (k *Kernel) Run(horizon Time) error {
 		e := k.heap.Pop()
 		k.now = e.at
 		k.eventsRun++
-		e.fn()
+		e.call()
 	}
 	k.stopParked()
 	return k.failure
@@ -112,7 +130,7 @@ func (k *Kernel) stopParked() {
 	for k.heap.Len() > 0 {
 		e := k.heap.Pop()
 		// Do not advance the clock during teardown.
-		e.fn()
+		e.call()
 	}
 }
 

@@ -374,3 +374,67 @@ func TestTimeArithmetic(t *testing.T) {
 		t.Fatal("NsF")
 	}
 }
+
+// countArg is a package-level event callback for the allocation test.
+func countArg(a any) { *(a.(*int))++ }
+
+// TestSteadyStateSchedulingAllocs pins the kernel's allocation
+// discipline: once the event heap has reached its high-water capacity,
+// scheduling and running argument-style events allocates nothing, and
+// the heap's backing array is reused across Run generations.
+func TestSteadyStateSchedulingAllocs(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	// Warm up the heap to its high-water mark.
+	for i := 0; i < 128; i++ {
+		k.AtArg(k.Now().Add(Microsecond), countArg, &count)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 128; i++ {
+			k.AtArg(k.Now().Add(Microsecond), countArg, &count)
+		}
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state scheduling allocates %.1f objects per generation, want 0", allocs)
+	}
+}
+
+// TestSignalWaitReuse exercises the embedded wait registration: a
+// process that waits on two different signals in alternation must never
+// see a cross-wired wake.
+func TestSignalWaitReuse(t *testing.T) {
+	k := NewKernel()
+	a := NewSignal(k, "a")
+	b := NewSignal(k, "b")
+	var wokeA, wokeB int
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(a)
+			wokeA++
+			p.Wait(b)
+			wokeB++
+		}
+	})
+	k.Spawn("pulser", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(Microsecond)
+			a.Pulse()
+			p.Sleep(Microsecond)
+			// A stale pulse on a must not wake the waiter off b.
+			a.Pulse()
+			b.Pulse()
+		}
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeA != 10 || wokeB != 10 {
+		t.Fatalf("wokeA=%d wokeB=%d, want 10/10", wokeA, wokeB)
+	}
+}

@@ -25,6 +25,21 @@ type Proc struct {
 	id     int
 	name   string
 	resume chan struct{}
+
+	// wreg is the reusable wait registration for plain (untimed) signal
+	// waits. A process blocks on at most one signal at a time, and a
+	// plain wait's registration leaves the signal's waiter list exactly
+	// when the process is woken, so one embedded registration per process
+	// suffices — Wait allocates nothing. Timed waits (WaitTimeout) use a
+	// fresh registration because their timer event can outlive the wait.
+	wreg waitReg
+}
+
+// resumeProcArg is the event callback that resumes a blocked process:
+// the argument carries the *Proc, so scheduling a wake allocates nothing.
+func resumeProcArg(a any) {
+	p := a.(*Proc)
+	p.k.resumeProc(p)
 }
 
 // Name returns the name the process was spawned with.
@@ -55,7 +70,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	k.At(k.now, func() { k.resumeProc(p) })
+	k.AtArg(k.now, resumeProcArg, p)
 	return p
 }
 
@@ -76,8 +91,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	k := p.k
-	k.After(d, func() { k.resumeProc(p) })
+	p.k.AfterArg(d, resumeProcArg, p)
 	p.block()
 }
 
@@ -87,8 +101,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < p.k.now {
 		t = p.k.now
 	}
-	k := p.k
-	k.At(t, func() { k.resumeProc(p) })
+	p.k.AtArg(t, resumeProcArg, p)
 	p.block()
 }
 

@@ -38,22 +38,42 @@ func (s *Signal) Pulse() {
 	if len(s.waiters) == 0 {
 		return
 	}
+	// Detach the list but keep its backing array: waiters resume via
+	// scheduled events, never during this loop, so nothing can append
+	// while we iterate, and truncating (instead of dropping to nil)
+	// lets future Waits register without reallocating.
 	regs := s.waiters
-	s.waiters = nil
+	s.waiters = regs[:0]
 	for _, r := range regs {
 		if r.fired {
 			continue
 		}
 		r.fired = true
-		reg := r
-		delete(s.k.parked, reg.p)
-		s.k.At(s.k.now, func() { s.k.resumeProc(reg.p) })
+		delete(s.k.parked, r.p)
+		s.k.AtArg(s.k.now, resumeProcArg, r.p)
+	}
+	for i := range regs {
+		regs[i] = nil // release registration references
 	}
 }
 
-// Wait blocks the calling process until the next Pulse.
+// pulseArg is the event callback for a deferred pulse.
+func pulseArg(a any) { a.(*Signal).Pulse() }
+
+// PulseAfter schedules a Pulse d from now, without allocating a closure.
+// Layers use it to arm wakeups (e.g. retransmission deadlines).
+func (s *Signal) PulseAfter(d Duration) { s.k.AfterArg(d, pulseArg, s) }
+
+// Wait blocks the calling process until the next Pulse. It reuses the
+// process's embedded registration, so waiting allocates nothing: an
+// untimed registration leaves the waiter list precisely when the process
+// is woken (Pulse detaches the whole list before scheduling resumes), so
+// it can never alias a later wait.
 func (p *Proc) Wait(s *Signal) {
-	reg := &waitReg{p: p}
+	reg := &p.wreg
+	reg.p = p
+	reg.fired = false
+	reg.timedOut = false
 	s.waiters = append(s.waiters, reg)
 	p.park()
 }

@@ -11,6 +11,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 
@@ -98,7 +99,13 @@ func (h *Histogram) Percentile(p float64) sim.Duration {
 	if p >= 1 {
 		return h.max
 	}
-	target := uint64(p * float64(h.n))
+	// The target rank is the ceiling of p*n: the smallest rank whose
+	// cumulative share reaches p. Truncating instead (the seed's bug)
+	// underestimated by up to one full rank — the p50 of 3 samples came
+	// back as the minimum. The epsilon guards against float error in
+	// p*n pushing an exact product just above an integer (0.1*30 ->
+	// 3.0000000000000004 must stay rank 3).
+	target := uint64(math.Ceil(p*float64(h.n) - 1e-9))
 	if target == 0 {
 		target = 1
 	}

@@ -186,3 +186,52 @@ func TestBucketRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestPercentileSmallOddCounts pins the ceiling-rank fix: with a handful
+// of samples the truncating rank underestimated by one — the p50 of
+// three samples came back as the minimum. Values below 32 are exact
+// (sub-bucket resolution), so these expectations have no quantization
+// slack.
+func TestPercentileSmallOddCounts(t *testing.T) {
+	record := func(vals ...int) *Histogram {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(sim.Duration(v))
+		}
+		return &h
+	}
+
+	if got := record(10).Percentile(0.5); got != 10 {
+		t.Errorf("p50 of {10} = %v, want 10", got)
+	}
+	h3 := record(10, 20, 30)
+	if got := h3.Percentile(0.5); got != 20 {
+		t.Errorf("p50 of {10,20,30} = %v, want the middle sample 20", got)
+	}
+	if got := h3.Percentile(0.90); got != 30 {
+		t.Errorf("p90 of {10,20,30} = %v, want 30", got)
+	}
+	h5 := record(1, 2, 3, 4, 5)
+	if got := h5.Percentile(0.5); got != 3 {
+		t.Errorf("p50 of {1..5} = %v, want 3", got)
+	}
+	if got := h5.Percentile(0.2); got != 1 {
+		t.Errorf("p20 of {1..5} = %v, want 1", got)
+	}
+	if got := h5.Percentile(0.21); got != 2 {
+		t.Errorf("p21 of {1..5} = %v, want 2", got)
+	}
+	// Exact-product ranks must not drift up from float error.
+	h30 := record(make30()...)
+	if got := h30.Percentile(0.1); got != 3 {
+		t.Errorf("p10 of {1..30} = %v, want rank 3", got)
+	}
+}
+
+func make30() []int {
+	out := make([]int, 30)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
