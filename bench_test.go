@@ -20,6 +20,7 @@ import (
 	"fm/internal/myriapi"
 	"fm/internal/myrinet"
 	"fm/internal/sim"
+	"fm/internal/workload"
 )
 
 const (
@@ -274,6 +275,24 @@ func BenchmarkFMSendExtract(b *testing.B) {
 	var mbps float64
 	for i := 0; i < b.N; i++ {
 		_, mbps = bench.FMStream(bench.ConfigFullFM(), p, benchSize, 512)
+	}
+	b.ReportMetric(mbps, "sim-MB/s")
+}
+
+// BenchmarkWorkloadDrive pushes the uniform-random workload pattern
+// through the raw driver on a 64-node Clos: pattern generation, the
+// per-source injector chain, and the shared latency-histogram
+// collection — the hot path every cell of the patterns experiment runs.
+// Baseline numbers live in BENCH_pr4.json.
+func BenchmarkWorkloadDrive(b *testing.B) {
+	b.ReportAllocs()
+	p := cost.Default()
+	pat := workload.UniformRandom{Seed: 1995, Packets: 16}
+	spec := workload.ClosSpec(64)
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		res := workload.DriveRaw(spec, p, pat, 112)
+		mbps = res.MBps()
 	}
 	b.ReportMetric(mbps, "sim-MB/s")
 }

@@ -6,20 +6,23 @@
 //
 // Usage:
 //
-//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|scale]
+//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale]
 //	        [-paper-exact] [-packets N] [-rounds N] [-workers N]
-//	        [-fabric-nodes N] [-csv DIR]
+//	        [-fabric-nodes N] [-pattern-nodes N] [-csv DIR] [-list]
 //
 // Output is aligned text on stdout; -csv additionally writes one CSV per
-// curve for plotting. -paper-exact uses the paper's measurement lengths
-// (65,535 packets per bandwidth point) instead of the faster default.
-// Independent measurements fan out over a worker pool (-workers, default
-// one per CPU); results are identical at any worker count.
+// curve (and per table) for plotting. -paper-exact uses the paper's
+// measurement lengths (65,535 packets per bandwidth point) instead of
+// the faster default. Independent measurements fan out over a worker
+// pool (-workers, default one per CPU); results are identical at any
+// worker count.
 //
-// `-experiment all` runs the paper set; long-running extended
-// experiments (scale: Clos sweeps to 1024 nodes through the full FM
-// stack) run only when named explicitly. An unknown experiment id is
-// rejected, with the valid ids listed, before anything runs.
+// -list prints every registered experiment id with its one-line
+// description and exits. `-experiment all` runs the paper set;
+// long-running extended experiments (scale: Clos sweeps to 1024 nodes
+// through the full FM stack) run only when named explicitly. An unknown
+// experiment id is rejected, with the valid ids listed, before anything
+// runs.
 package main
 
 import (
@@ -38,8 +41,21 @@ func main() {
 	rounds := flag.Int("rounds", 0, "override ping-pong rounds per latency point")
 	workers := flag.Int("workers", 0, "override harness parallelism (default: one per CPU)")
 	fabricNodes := flag.Int("fabric-nodes", 0, "override node count for the fabrics experiment (default 64)")
+	patternNodes := flag.Int("pattern-nodes", 0, "override node count for the patterns experiment (default 32)")
 	csvDir := flag.String("csv", "", "also write CSV series into this directory")
+	list := flag.Bool("list", false, "list every experiment id with its description and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %s\n", "all", "the paper set: every experiment below except the extended ones")
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		for _, e := range bench.Extended() {
+			fmt.Printf("%-10s %s (extended: not part of `all`)\n", e.ID, e.Title)
+		}
+		return
+	}
 
 	opt := bench.DefaultOptions()
 	if *paperExact {
@@ -56,6 +72,9 @@ func main() {
 	}
 	if *fabricNodes > 0 {
 		opt.FabricNodes = *fabricNodes
+	}
+	if *patternNodes > 0 {
+		opt.PatternNodes = *patternNodes
 	}
 
 	// Validate every requested id before running anything: a typo in a

@@ -10,6 +10,12 @@
 // neighbors over FM, then the result is checked against a serial
 // computation of the same system.
 //
+// The communication structure — who talks to whom, each iteration — is
+// not hand-rolled: it comes from the workload layer's Neighbor pattern
+// (internal/workload), the ring-shift/halo-exchange generator the
+// `patterns` experiment also drives. The example walks the pattern's
+// per-rank send list round by round and fills in the physics.
+//
 // Run with: go run ./examples/halo
 package main
 
@@ -23,17 +29,24 @@ import (
 	"fm/internal/core"
 	"fm/internal/cost"
 	"fm/internal/sim"
+	"fm/internal/workload"
 )
 
 const (
-	nodes   = 8
-	cells   = 512 // total interior cells
-	local   = cells / nodes
-	iters   = 50
-	hHalo   = 0
-	hGroup  = 1
-	cpuCost = 60 * sim.Nanosecond // per-cell update on a 1995 SuperSPARC
+	nodes    = 8
+	cells    = 512 // total interior cells
+	local    = cells / nodes
+	iters    = 50
+	hHalo    = 0
+	hGroup   = 1
+	haloSize = 13                  // side byte + iteration + float64 value
+	cpuCost  = 60 * sim.Nanosecond // per-cell update on a 1995 SuperSPARC
 )
+
+// pattern is the workload-layer description of this application's
+// traffic: iters rounds of non-wrapping neighbor exchange (the boundary
+// ranks have a fixed boundary cell instead of a partner on that side).
+var pattern = workload.Neighbor{Rounds: iters, Wrap: false, Bytes: haloSize}
 
 func encode(v float64) []byte {
 	b := make([]byte, 8)
@@ -100,20 +113,32 @@ func main() {
 				}
 			})
 			halo := func(side byte, it int, v float64) []byte {
-				msg := make([]byte, 5, 13)
+				msg := make([]byte, 5, haloSize)
 				msg[0] = side
 				binary.LittleEndian.PutUint32(msg[1:], uint32(it))
 				return append(msg, encode(v)...)
 			}
 
+			// The pattern's send list is round-major with a constant
+			// per-round count per rank (2 in the interior, 1 at the
+			// boundaries), so each iteration consumes one slice of it.
+			sends := pattern.Gen(rank, nodes)
+			perRound := len(sends) / iters
+
 			for it := 0; it < iters; it++ {
-				// Exchange halos with ring neighbors (boundary nodes keep
-				// their fixed boundary cell instead).
-				if left >= 0 {
-					ep.Send(left, hHalo, halo('L', it, u[1]))
-				}
-				if right < nodes {
-					ep.Send(right, hHalo, halo('R', it, u[local]))
+				// Exchange halos with the pattern's neighbors for this
+				// round (boundary nodes keep their fixed boundary cell
+				// instead): a send to the left neighbor carries our
+				// leftmost cell, a send to the right our rightmost.
+				for _, s := range sends[it*perRound : (it+1)*perRound] {
+					msg := halo('R', it, u[local])
+					if s.Dst == left {
+						msg = halo('L', it, u[1])
+					}
+					if len(msg) != s.Size {
+						panic(fmt.Sprintf("halo message is %dB, pattern declares %dB", len(msg), s.Size))
+					}
+					ep.Send(s.Dst, hHalo, msg)
 				}
 				for {
 					l, okL := fromLeft[uint32(it)]
@@ -167,6 +192,8 @@ func main() {
 	}
 	fmt.Printf("%d nodes x %d cells, %d Jacobi iterations with FM halo exchange\n",
 		nodes, local, iters)
+	fmt.Printf("traffic structure: workload pattern %q, %d messages per run\n",
+		pattern.Name(), workload.Total(pattern, nodes))
 	fmt.Printf("max deviation from serial solution: %.3e (must be ~0)\n", maxErr)
 	fmt.Printf("virtual time: %v (%.1f us/iteration including 2 halos + barrier)\n",
 		elapsed, elapsed.Microseconds()/iters)

@@ -8,6 +8,7 @@ import (
 	"fm/internal/cost"
 	"fm/internal/metrics"
 	"fm/internal/sim"
+	"fm/internal/workload"
 )
 
 // Ablations regenerates the design-choice studies the paper's Discussion
@@ -77,10 +78,14 @@ type hotspotResult struct {
 	maxQueue    int
 }
 
-// hotspot drives `senders` nodes streaming at one slow receiver (node 0).
+// hotspot drives `senders` nodes streaming at one slow receiver (node
+// 0) — the workload incast pattern generates the traffic; the receiver
+// stays hand-built because the study samples flow-control internals
+// (queue depth, rejects) no generic driver exposes.
 func hotspot(cfg core.Config, p *cost.Params, senders, packets, size int, recvDelay sim.Duration) hotspotResult {
 	c := cluster.NewFM(senders+1, cfg.WithFrame(size), p)
-	total := senders * packets
+	pattern := workload.Incast{Target: 0, Packets: packets}
+	total := workload.Total(pattern, senders+1)
 	got := 0
 	maxQ := 0
 	c.Start(0, func(ep *core.Endpoint) {
@@ -100,11 +105,11 @@ func hotspot(cfg core.Config, p *cost.Params, senders, packets, size int, recvDe
 		ep.Extract()
 	})
 	for s := 1; s <= senders; s++ {
-		s := s
+		sends := pattern.Gen(s, senders+1)
 		c.Start(s, func(ep *core.Endpoint) {
 			buf := make([]byte, size)
-			for i := 0; i < packets; i++ {
-				if err := ep.Send(0, 0, buf); err != nil {
+			for _, snd := range sends {
+				if err := ep.Send(snd.Dst, 0, buf); err != nil {
 					panic(err)
 				}
 			}

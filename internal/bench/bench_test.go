@@ -11,6 +11,7 @@ import (
 
 	"fm/internal/cost"
 	"fm/internal/myriapi"
+	"fm/internal/workload"
 )
 
 // tiny returns sweep options small enough for unit tests.
@@ -25,7 +26,7 @@ func tiny() Options {
 }
 
 func TestRegistry(t *testing.T) {
-	ids := []string{"fig3", "fig4", "fig7", "fig8", "fig9", "table4", "headline", "ablations", "fabrics", "mpi"}
+	ids := []string{"fig3", "fig4", "fig7", "fig8", "fig9", "table4", "headline", "ablations", "fabrics", "mpi", "patterns"}
 	for _, id := range ids {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
@@ -227,13 +228,58 @@ func TestScaleExperimentSmall(t *testing.T) {
 	}
 }
 
+// TestPatternsExperiment checks the sweep's shape (every pattern x
+// fabric cell present, in catalog order) and the workload-layer
+// guarantee: the report is byte-identical at any worker count and
+// across repeated runs.
+func TestPatternsExperiment(t *testing.T) {
+	opt := tiny()
+	opt.PatternNodes = 8
+	render := func(workers int) string {
+		opt.Workers = workers
+		var buf bytes.Buffer
+		Patterns(opt).WriteText(&buf)
+		return buf.String()
+	}
+	serial := render(1)
+	if parallel := render(6); parallel != serial {
+		t.Fatalf("patterns output depends on worker count:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if again := render(1); again != serial {
+		t.Fatal("patterns output not reproducible across runs")
+	}
+
+	r := Patterns(opt)
+	if len(r.Tables) != 1 {
+		t.Fatalf("patterns produced %d tables", len(r.Tables))
+	}
+	tab := r.Tables[0]
+	pats := patternCatalog()
+	specs := workload.Specs(8)
+	if want := len(pats) * len(specs); len(tab.Rows) != want {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), want)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tab.Header))
+		}
+		if want := pats[i/len(specs)].Name(); row[0] != want {
+			t.Errorf("row %d pattern %q, want %q", i, row[0], want)
+		}
+		if want := specs[i%len(specs)].Name; row[1] != want {
+			t.Errorf("row %d fabric %q, want %q", i, row[1], want)
+		}
+	}
+}
+
 func TestFabricGeometry(t *testing.T) {
 	for _, tc := range []struct{ n, g, groups int }{
 		{64, 8, 8}, {16, 4, 4}, {8, 2, 4}, {4, 2, 2}, {7, 1, 7},
 	} {
-		g, groups := fabricGeometry(tc.n)
+		g, groups := workload.Geometry(tc.n)
 		if g != tc.g || groups != tc.groups {
-			t.Errorf("fabricGeometry(%d) = (%d,%d), want (%d,%d)", tc.n, g, groups, tc.g, tc.groups)
+			t.Errorf("workload.Geometry(%d) = (%d,%d), want (%d,%d)", tc.n, g, groups, tc.g, tc.groups)
 		}
 	}
 }
@@ -371,6 +417,35 @@ func TestReportTextAndCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "bytes,latency_us,bandwidth_MBps") {
 		t.Errorf("csv header wrong: %s", data[:40])
+	}
+}
+
+// Tables render in text and CSV: the -csv path for the patterns
+// experiment.
+func TestReportTableTextAndCSV(t *testing.T) {
+	r := &Report{ID: "pat", Title: "table test", Tables: []Table{{
+		Name:   "grid one",
+		Header: []string{"pattern", "value"},
+		Rows:   [][]string{{"a", "1"}, {"longer-name", "23"}},
+	}}}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"grid one", "pattern", "longer-name"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	dir := t.TempDir()
+	if err := r.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "pat_grid_one.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "pattern,value\na,1\nlonger-name,23\n" {
+		t.Errorf("table csv = %q", got)
 	}
 }
 

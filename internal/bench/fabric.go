@@ -3,12 +3,11 @@ package bench
 import (
 	"fmt"
 
-	"fm/internal/cluster"
 	"fm/internal/core"
 	"fm/internal/cost"
 	"fm/internal/metrics"
-	"fm/internal/myrinet"
 	"fm/internal/sim"
+	"fm/internal/workload"
 )
 
 // The fabric-scaling experiment: the paper measures everything on one
@@ -17,195 +16,11 @@ import (
 // N-node crossbar, line, and 2-level Clos fabrics at the raw network
 // level (no host stack, so the fabric itself is the bottleneck), then
 // re-runs the all-to-all through the full FM layer on the Clos.
-
-// fabricSpec names one topology under comparison.
-type fabricSpec struct {
-	name     string
-	switches int
-	build    func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric
-}
-
-// fabricGeometry splits n nodes into equal groups for the multi-switch
-// topologies: groupSize is the largest power of two dividing n that does
-// not exceed sqrt(n), so 64 nodes become 8 groups of 8.
-func fabricGeometry(n int) (groupSize, groups int) {
-	groupSize = 1
-	for v := 2; v*v <= n; v *= 2 {
-		if n%v == 0 {
-			groupSize = v
-		}
-	}
-	return groupSize, n / groupSize
-}
-
-// closGeometry derives the full-bisection Clos sizing for n nodes:
-// spines = leaves = groups, and the switch port count that accommodates
-// both roles. Shared by the raw-fabric and FM-layer legs so they always
-// measure the same topology.
-func closGeometry(n int) (spines, leaves, nodesPerLeaf, ports int) {
-	g, groups := fabricGeometry(n)
-	return groups, groups, g, g + groups
-}
-
-// fabricSpecs returns the three topologies at n nodes: one ideal n-port
-// crossbar, a line of crossbars, and a full-bisection 2-level Clos
-// (spines = leaves).
-func fabricSpecs(n int) []fabricSpec {
-	g, groups := fabricGeometry(n)
-	_, _, _, closPorts := closGeometry(n)
-	return []fabricSpec{
-		{"crossbar", 1,
-			func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
-				return myrinet.NewCrossbar(k, p, n, n)
-			}},
-		{"line", groups,
-			func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
-				return myrinet.NewLine(k, p, groups, g, g+2)
-			}},
-		{"clos", 2 * groups,
-			func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
-				return myrinet.NewClos(k, p, groups, groups, g, closPorts)
-			}},
-	}
-}
-
-// fabricDrive is the shared state of one fabricRun: the sink counts
-// deliveries and recycles packets; per-source injectors pace themselves
-// off the uplink-free instant. Both run as argument-style events and
-// pooled packets, so a sweep point's steady state allocates nothing.
-type fabricDrive struct {
-	k         *sim.Kernel
-	f         *myrinet.Fabric
-	payload   []byte
-	delivered int
-	last      sim.Time
-}
-
-// Arrive implements myrinet.Sink.
-func (dr *fabricDrive) Arrive(p *myrinet.Packet) {
-	dr.delivered++
-	dr.last = dr.k.Now()
-	dr.f.Release(p)
-}
-
-// fabricInjector feeds one source's destination list into the fabric,
-// back-to-back: each next injection fires when the uplink frees.
-type fabricInjector struct {
-	dr    *fabricDrive
-	hdr   int
-	src   int
-	dests []int
-	next  int
-}
-
-func injectNext(a any) {
-	in := a.(*fabricInjector)
-	if in.next >= len(in.dests) {
-		return
-	}
-	dr := in.dr
-	pkt := dr.f.NewPacket()
-	pkt.Src, pkt.Dst = in.src, in.dests[in.next]
-	pkt.Type = myrinet.Data
-	pkt.SetPayload(dr.payload)
-	pkt.HeaderBytes = in.hdr
-	in.next++
-	srcDone := dr.f.Inject(pkt)
-	dr.k.AtArg(srcDone, injectNext, in)
-}
-
-// fabricRun drives one traffic pattern over a fresh fabric: every source
-// injects its destination list back-to-back, each next injection paced
-// by the instant the source's uplink frees. Returns the virtual time of
-// the last delivery, the packet count, and the mean hop count.
-func fabricRun(spec fabricSpec, p *cost.Params, pattern func(src, n int) []int, size int) (sim.Duration, int, float64) {
-	k := sim.NewKernel()
-	f := spec.build(k, p)
-	n := f.Nodes()
-
-	dr := &fabricDrive{k: k, f: f, payload: make([]byte, size)}
-	for i := 0; i < n; i++ {
-		f.Attach(i, dr)
-	}
-
-	total, hops := 0, 0
-	for src := 0; src < n; src++ {
-		dests := pattern(src, n)
-		total += len(dests)
-		for _, d := range dests {
-			hops += f.Hops(src, d)
-		}
-		k.AtArg(0, injectNext, &fabricInjector{dr: dr, hdr: p.FMHeaderBytes, src: src, dests: dests})
-	}
-	if err := k.RunAll(); err != nil {
-		panic(err)
-	}
-	if dr.delivered != total {
-		panic(fmt.Sprintf("bench: %s delivered %d/%d packets", spec.name, dr.delivered, total))
-	}
-	return sim.Duration(dr.last), total, float64(hops) / float64(total)
-}
-
-// allToAll sends `rounds` packets from every node to every other node,
-// destination order rotated per source so the pattern is not a
-// synchronized hotspot sweep.
-func allToAll(rounds int) func(src, n int) []int {
-	return func(src, n int) []int {
-		out := make([]int, 0, rounds*(n-1))
-		for r := 0; r < rounds; r++ {
-			for off := 1; off < n; off++ {
-				out = append(out, (src+off)%n)
-			}
-		}
-		return out
-	}
-}
-
-// bisection pairs node i with node (i+n/2)%n: every packet crosses the
-// fabric's midline, the worst case for topologies without full
-// bisection bandwidth.
-func bisection(packets int) func(src, n int) []int {
-	return func(src, n int) []int {
-		out := make([]int, packets)
-		for i := range out {
-			out[i] = (src + n/2) % n
-		}
-		return out
-	}
-}
-
-// fmClosAllToAll runs a one-round all-to-all through the complete FM
-// layer (hosts, SBus, LANai, flow control) on the Clos fabric, proving
-// the full stack scales past the single crossbar. Returns completion
-// time and delivered payload bandwidth.
-func fmClosAllToAll(n, size int, p *cost.Params) (sim.Duration, float64) {
-	spines, leaves, g, ports := closGeometry(n)
-	c := cluster.NewFMClos(spines, leaves, g, ports, core.DefaultConfig(), p)
-	expect := n - 1
-	for id := 0; id < n; id++ {
-		id := id
-		c.Start(id, func(ep *core.Endpoint) {
-			got := 0
-			ep.RegisterHandler(0, func(int, []byte) { got++ })
-			buf := make([]byte, size)
-			for off := 1; off < n; off++ {
-				if err := ep.Send((id+off)%n, 0, buf); err != nil {
-					panic(err)
-				}
-				ep.Extract() // keep draining while sending
-			}
-			for got < expect || ep.Outstanding() > 0 {
-				ep.WaitIncoming()
-				ep.Extract()
-			}
-		})
-	}
-	if err := c.Run(); err != nil {
-		panic(err)
-	}
-	elapsed := sim.Duration(c.K.Now())
-	return elapsed, metrics.Bandwidth(size, n*expect, elapsed)
-}
+//
+// The traffic itself — all-to-all, bisection — and the drivers that
+// push it through the fabric and the FM stack live in
+// internal/workload; this file only selects patterns and formats the
+// paper-style comparison.
 
 // Fabrics regenerates the fabric-scaling comparison at opt.FabricNodes
 // nodes (default 64): aggregate all-to-all bandwidth and bisection
@@ -217,23 +32,23 @@ func Fabrics(opt Options) *Report {
 	if n < 4 {
 		n = 4
 	}
-	if n%2 != 0 {
-		n++ // bisection pairing needs an even node count
-	}
+	// The bisection pattern pairs ranks across the midline, so it bumps
+	// odd node counts up to even ones.
+	n = workload.AdjustNodes(workload.Bisection{}, n)
 	const size = 112 // 112B payload + 16B header = the paper's 128B frame
 	r := &Report{ID: "fabrics", Title: fmt.Sprintf("Fabric scaling at %d nodes", n)}
 
-	specs := fabricSpecs(n)
+	specs := workload.Specs(n)
 	type res struct {
 		a2aBW, bisBW, a2aHops float64
 	}
 	results := mapN(opt.Workers, len(specs), func(i int) res {
-		elapsed, packets, hops := fabricRun(specs[i], p, allToAll(2), size)
-		bisElapsed, bisPackets, _ := fabricRun(specs[i], p, bisection(32), size)
+		a2a := workload.DriveRaw(specs[i], p, workload.AllToAll{Rounds: 2}, size)
+		bis := workload.DriveRaw(specs[i], p, workload.Bisection{Packets: 32}, size)
 		return res{
-			a2aBW:   metrics.Bandwidth(size, packets, elapsed),
-			bisBW:   metrics.Bandwidth(size, bisPackets, bisElapsed),
-			a2aHops: hops,
+			a2aBW:   metrics.Bandwidth(size, a2a.Messages, a2a.Elapsed),
+			bisBW:   metrics.Bandwidth(size, bis.Messages, bis.Elapsed),
+			a2aHops: a2a.MeanHops,
 		}
 	})
 
@@ -247,20 +62,21 @@ func Fabrics(opt Options) *Report {
 			expect = "near-crossbar"
 		}
 		r.KVs = append(r.KVs,
-			KV{s.name + ": all-to-all agg. BW (MB/s)", fmt.Sprintf("%.0f", results[i].a2aBW), expect},
-			KV{s.name + ": bisection BW (MB/s)", fmt.Sprintf("%.0f", results[i].bisBW), expect},
-			KV{s.name + ": mean hops", fmt.Sprintf("%.2f", results[i].a2aHops), "-"},
+			KV{s.Name + ": all-to-all agg. BW (MB/s)", fmt.Sprintf("%.0f", results[i].a2aBW), expect},
+			KV{s.Name + ": bisection BW (MB/s)", fmt.Sprintf("%.0f", results[i].bisBW), expect},
+			KV{s.Name + ": mean hops", fmt.Sprintf("%.2f", results[i].a2aHops), "-"},
 		)
 	}
 
-	fmElapsed, fmBW := fmClosAllToAll(n, size, p)
+	fm := workload.DriveFM(workload.ClosSpec(n), core.DefaultConfig(), p, workload.AllToAll{Rounds: 1}, size)
 	r.KVs = append(r.KVs,
 		KV{fmt.Sprintf("FM on Clos: all-to-all completion, N=%d (ms)", n),
-			fmt.Sprintf("%.2f", float64(fmElapsed)/float64(sim.Millisecond)), "-"},
-		KV{"FM on Clos: delivered payload BW (MB/s)", fmt.Sprintf("%.1f", fmBW), "-"},
+			fmt.Sprintf("%.2f", float64(fm.Elapsed)/float64(sim.Millisecond)), "-"},
+		KV{"FM on Clos: delivered payload BW (MB/s)",
+			fmt.Sprintf("%.1f", metrics.Bandwidth(size, fm.Messages, fm.Elapsed)), "-"},
 	)
 
-	g, groups := fabricGeometry(n)
+	g, groups := workload.Geometry(n)
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("geometry: crossbar = one %d-port switch; line = %d switches x %d nodes; clos = %d spines over %d leaves x %d nodes (full bisection by construction)",
 			n, groups, g, groups, groups, g),

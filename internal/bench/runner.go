@@ -43,6 +43,9 @@ type Options struct {
 	// FabricNodes sizes the fabric-comparison experiment (all-to-all and
 	// bisection traffic on crossbar vs. line vs. Clos).
 	FabricNodes int
+	// PatternNodes sizes the workload-pattern sweep (every pattern on
+	// crossbar vs. line vs. Clos at raw, FM, and MPI stack levels).
+	PatternNodes int
 	// ScaleNodes is the Clos node-count sweep for the scale experiment.
 	ScaleNodes []int
 }
@@ -51,13 +54,14 @@ type Options struct {
 // few seconds of wall time.
 func DefaultOptions() Options {
 	return Options{
-		Sizes:       []int{4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 600},
-		APISizes:    []int{16, 64, 128, 256, 512, 600, 1024, 2048, 3072, 4096},
-		Packets:     16384,
-		Rounds:      metrics.PaperPingPongRounds,
-		Workers:     defaultWorkers(),
-		FabricNodes: 64,
-		ScaleNodes:  []int{64, 128, 256, 512, 1024},
+		Sizes:        []int{4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 600},
+		APISizes:     []int{16, 64, 128, 256, 512, 600, 1024, 2048, 3072, 4096},
+		Packets:      16384,
+		Rounds:       metrics.PaperPingPongRounds,
+		Workers:      defaultWorkers(),
+		FabricNodes:  64,
+		PatternNodes: 32,
+		ScaleNodes:   []int{64, 128, 256, 512, 1024},
 	}
 }
 
@@ -98,6 +102,15 @@ type KV struct {
 	Paper    string
 }
 
+// Table is a free-form grid for sweep matrices that fit neither the
+// Table 4 row shape nor KV pairs (the patterns experiment's
+// pattern x fabric x stack-level matrix).
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
 // Report is one regenerated figure or table.
 type Report struct {
 	ID     string
@@ -105,6 +118,7 @@ type Report struct {
 	Curves []Curve
 	Rows   []Row
 	KVs    []KV
+	Tables []Table
 	Notes  []string
 }
 
@@ -128,6 +142,7 @@ func All() []Experiment {
 		{"ablations", "Ablations: frame size, flow control, DMA aggregation, ack piggybacking, hardware what-ifs", Ablations},
 		{"fabrics", "Fabric scaling: all-to-all and bisection traffic on crossbar vs. line vs. Clos", Fabrics},
 		{"mpi", "MPI on FM: the cost of layering (tagged matching vs. raw FM, crossbar and Clos)", MPILayering},
+		{"patterns", "Workload patterns: the traffic catalog x crossbar/line/Clos x raw/FM/MPI stack levels", Patterns},
 	}
 }
 
@@ -211,6 +226,40 @@ func (r *Report) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "%-46s %16s %16s\n", kv.Metric, kv.Measured, kv.Paper)
 		}
 	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n-- %s --\n", t.Name)
+		widths := make([]int, len(t.Header))
+		for c, h := range t.Header {
+			widths[c] = len(h)
+		}
+		for _, row := range t.Rows {
+			for c, cell := range row {
+				if c < len(widths) && len(cell) > widths[c] {
+					widths[c] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for c, cell := range cells {
+				if c > 0 {
+					fmt.Fprint(w, "  ")
+				}
+				switch {
+				case c >= len(widths): // ragged row: no width to pad to
+					fmt.Fprint(w, cell)
+				case c == 0:
+					fmt.Fprintf(w, "%-*s", widths[c], cell)
+				default:
+					fmt.Fprintf(w, "%*s", widths[c], cell)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		writeRow(t.Header)
+		for _, row := range t.Rows {
+			writeRow(row)
+		}
+	}
 	for _, note := range r.Notes {
 		fmt.Fprintf(w, "note: %s\n", note)
 	}
@@ -257,6 +306,21 @@ func (r *Report) WriteCSV(dir string) error {
 				fmt.Sprintf("%.2f", row.T0us), fmt.Sprintf("%.2f", row.RInf),
 				fmt.Sprintf("%.0f", row.NHalf), strconv.FormatBool(row.Extrap),
 				row.PaperT0, row.PaperR, row.PaperN})
+		}
+		cw.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		f, err := os.Create(filepath.Join(dir, r.ID+"_"+sanitize(t.Name)+".csv"))
+		if err != nil {
+			return err
+		}
+		cw := csv.NewWriter(f)
+		_ = cw.Write(t.Header)
+		for _, row := range t.Rows {
+			_ = cw.Write(row)
 		}
 		cw.Flush()
 		if err := f.Close(); err != nil {

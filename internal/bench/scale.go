@@ -3,10 +3,11 @@ package bench
 import (
 	"fmt"
 
+	"fm/internal/core"
 	"fm/internal/cost"
 	"fm/internal/metrics"
-	"fm/internal/myrinet"
 	"fm/internal/sim"
+	"fm/internal/workload"
 )
 
 // The scale experiment: the fabrics comparison at production sizes. It
@@ -22,18 +23,13 @@ import (
 // the 1024-node FM point simulates over a million full-stack messages
 // and dominates any all-experiments run.
 
-// closSpec returns the full-bisection Clos at n nodes, sized by the same
-// geometry the fabrics experiment uses (spines = leaves = groups).
-func closSpec(n int) fabricSpec {
-	g, groups := fabricGeometry(n)
-	_, _, _, ports := closGeometry(n)
-	return fabricSpec{
-		name:     fmt.Sprintf("clos-%d", n),
-		switches: 2 * groups,
-		build: func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
-			return myrinet.NewClos(k, p, groups, groups, g, ports)
-		},
-	}
+// scaleSpec returns the full-bisection Clos at n nodes
+// (workload.ClosSpec), renamed so panic messages identify the sweep
+// point.
+func scaleSpec(n int) workload.FabricSpec {
+	spec := workload.ClosSpec(n)
+	spec.Name = fmt.Sprintf("clos-%d", n)
+	return spec
 }
 
 // Scale regenerates the scaling sweep over opt.ScaleNodes (default
@@ -63,16 +59,16 @@ func Scale(opt Options) *Report {
 		i, n := i, n
 		jobs = append(jobs,
 			func() {
-				elapsed, packets, hops := fabricRun(closSpec(n), p, allToAll(1), size)
-				a2a[i] = rawRes{bw: metrics.Bandwidth(size, packets, elapsed), hops: hops}
+				res := workload.DriveRaw(scaleSpec(n), p, workload.AllToAll{Rounds: 1}, size)
+				a2a[i] = rawRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed), hops: res.MeanHops}
 			},
 			func() {
-				elapsed, packets, _ := fabricRun(closSpec(n), p, bisection(32), size)
-				bis[i] = rawRes{bw: metrics.Bandwidth(size, packets, elapsed)}
+				res := workload.DriveRaw(scaleSpec(n), p, workload.Bisection{Packets: 32}, size)
+				bis[i] = rawRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed)}
 			},
 			func() {
-				elapsed, bw := fmClosAllToAll(n, size, p)
-				fm[i] = fmRes{bw: bw, elapsed: elapsed}
+				res := workload.DriveFM(scaleSpec(n), core.DefaultConfig(), p, workload.AllToAll{Rounds: 1}, size)
+				fm[i] = fmRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed), elapsed: res.Elapsed}
 			},
 		)
 	}
@@ -82,7 +78,7 @@ func Scale(opt Options) *Report {
 		return fmt.Sprintf("%.2f", float64(d)/float64(sim.Millisecond))
 	}
 	for i, n := range nodes {
-		g, groups := fabricGeometry(n)
+		g, groups := workload.Geometry(n)
 		r.KVs = append(r.KVs,
 			KV{fmt.Sprintf("N=%4d raw all-to-all agg. BW (MB/s)", n), fmt.Sprintf("%.0f", a2a[i].bw),
 				fmt.Sprintf("%d leaves x %d nodes", groups, g)},

@@ -79,12 +79,21 @@ func NewFMOnFabric(k *sim.Kernel, p *cost.Params, fab *myrinet.Fabric, cfg core.
 	return newFMOn(hw, cfg)
 }
 
+// NewFMFrom builds an FM cluster on a fresh kernel around the fabric
+// the build function constructs — the generic form behind NewFMLine and
+// NewFMClos, and the constructor the workload drivers use to run any
+// topology spec through the full stack.
+func NewFMFrom(build func(*sim.Kernel, *cost.Params) *myrinet.Fabric, cfg core.Config, p *cost.Params) *FM {
+	k := sim.NewKernel()
+	return NewFMOnFabric(k, p, build(k, p), cfg)
+}
+
 // NewFMLine builds an FM cluster on a linear multi-switch fabric
 // (myrinet.NewLine geometry).
 func NewFMLine(nSwitches, nodesPerSwitch, ports int, cfg core.Config, p *cost.Params) *FM {
-	k := sim.NewKernel()
-	fab := myrinet.NewLine(k, p, nSwitches, nodesPerSwitch, ports)
-	return NewFMOnFabric(k, p, fab, cfg)
+	return NewFMFrom(func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
+		return myrinet.NewLine(k, p, nSwitches, nodesPerSwitch, ports)
+	}, cfg, p)
 }
 
 // NewFMClos builds an FM cluster on a 2-level Clos fabric
@@ -93,9 +102,9 @@ func NewFMLine(nSwitches, nodesPerSwitch, ports int, cfg core.Config, p *cost.Pa
 // constructor for scaling simulations past a single crossbar (64 nodes =
 // 8 spines x 8 leaves x 8 nodes on 16-port switches).
 func NewFMClos(spines, leaves, nodesPerLeaf, ports int, cfg core.Config, p *cost.Params) *FM {
-	k := sim.NewKernel()
-	fab := myrinet.NewClos(k, p, spines, leaves, nodesPerLeaf, ports)
-	return NewFMOnFabric(k, p, fab, cfg)
+	return NewFMFrom(func(k *sim.Kernel, p *cost.Params) *myrinet.Fabric {
+		return myrinet.NewClos(k, p, spines, leaves, nodesPerLeaf, ports)
+	}, cfg, p)
 }
 
 func newFMOn(hw *Hardware, cfg core.Config) *FM {

@@ -1,0 +1,343 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/metrics"
+	"fm/internal/mpi"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+	"fm/internal/stats"
+)
+
+// Result is one pattern driven over one fabric at one stack level, with
+// the shared measurement set: message/byte totals, completion time,
+// topological hop cost, and the full per-message latency distribution.
+type Result struct {
+	Pattern string
+	Fabric  string
+	// Messages is the number of messages the pattern generated (and the
+	// driver verified delivered).
+	Messages int
+	// PayloadBytes is the total payload carried, per-send size
+	// overrides included.
+	PayloadBytes int64
+	// Elapsed is the virtual time of the last delivery (raw level) or
+	// of cluster quiescence (FM/MPI levels).
+	Elapsed sim.Duration
+	// MeanHops is the mean switch crossings per message, a pure
+	// topology property of the pattern's (src, dst) pairs.
+	MeanHops float64
+	// Latency is the per-message delivery-latency distribution:
+	// injection to tail delivery at the raw level; send call to the
+	// instant the receiving rank observes the message at the FM and MPI
+	// levels (handler dispatch and, for MPI, matching and reassembly
+	// included). The raw driver records every message; the FM and MPI
+	// drivers stamp the send instant into the payload, so messages
+	// shorter than the 8-byte timestamp cannot carry one and are not
+	// recorded — Latency.Count() < Messages signals such a run.
+	Latency stats.Histogram
+}
+
+// MBps returns the delivered payload bandwidth in MB/s (MiB).
+func (r *Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.PayloadBytes) / metrics.MiB / r.Elapsed.Seconds()
+}
+
+// sendSize resolves one send's payload size against the driver default.
+func sendSize(s Send, def int) int {
+	if s.Size > 0 {
+		return s.Size
+	}
+	return def
+}
+
+// genAll generates every rank's sends once and accumulates the shared
+// totals: message count, payload bytes, per-rank receive counts, and
+// the buffer size the drivers need.
+func genAll(pat Pattern, n, def int) (sends [][]Send, messages int, bytes int64, expect []int, maxSize int) {
+	sends = make([][]Send, n)
+	expect = make([]int, n)
+	maxSize = def
+	for src := 0; src < n; src++ {
+		sends[src] = pat.Gen(src, n)
+		messages += len(sends[src])
+		for _, s := range sends[src] {
+			sz := sendSize(s, def)
+			bytes += int64(sz)
+			expect[s.Dst]++
+			if sz > maxSize {
+				maxSize = sz
+			}
+		}
+	}
+	return sends, messages, bytes, expect, maxSize
+}
+
+// meanHops computes the pattern's mean switch-crossing count on the
+// fabric: pure routing-table arithmetic, no virtual time.
+func meanHops(f *myrinet.Fabric, sends [][]Send, messages int) float64 {
+	if messages == 0 {
+		return 0
+	}
+	hops := 0
+	for src, list := range sends {
+		for _, s := range list {
+			hops += f.Hops(src, s.Dst)
+		}
+	}
+	return float64(hops) / float64(messages)
+}
+
+// --- Raw fabric driver ---
+
+// rawDrive is the shared state of one DriveRaw: the sink counts
+// deliveries, records latency, and recycles packets; per-source
+// injectors pace themselves off the uplink-free instant. Both run as
+// argument-style events and pooled packets, so a run's steady state
+// allocates nothing.
+type rawDrive struct {
+	k         *sim.Kernel
+	f         *myrinet.Fabric
+	payload   []byte
+	size      int // default payload size
+	delivered int
+	last      sim.Time
+	lat       *stats.Histogram
+}
+
+// Arrive implements myrinet.Sink.
+func (dr *rawDrive) Arrive(p *myrinet.Packet) {
+	dr.delivered++
+	dr.last = dr.k.Now()
+	dr.lat.Record(dr.k.Now().Sub(p.Injected))
+	dr.f.Release(p)
+}
+
+// rawInjector feeds one source's send list into the fabric: each next
+// injection fires when the uplink frees, or at the send's At instant if
+// that is later.
+type rawInjector struct {
+	dr    *rawDrive
+	hdr   int
+	src   int
+	sends []Send
+	next  int
+}
+
+func injectNext(a any) {
+	in := a.(*rawInjector)
+	if in.next >= len(in.sends) {
+		return
+	}
+	dr := in.dr
+	s := in.sends[in.next]
+	pkt := dr.f.NewPacket()
+	pkt.Src, pkt.Dst = in.src, s.Dst
+	pkt.Type = myrinet.Data
+	pkt.SetPayload(dr.payload[:sendSize(s, dr.size)])
+	pkt.HeaderBytes = in.hdr
+	in.next++
+	srcDone := dr.f.Inject(pkt)
+	if in.next < len(in.sends) {
+		if at := sim.Time(in.sends[in.next].At); at > srcDone {
+			srcDone = at
+		}
+	}
+	dr.k.AtArg(srcDone, injectNext, in)
+}
+
+// DriveRaw runs the pattern over a fresh fabric at the raw network
+// level (no host stack, so the fabric itself is the bottleneck): every
+// source injects its send list back-to-back, each next injection paced
+// by the instant the source's uplink frees (or the send's At time).
+// Frames carry the FM header size, size bytes of payload by default.
+func DriveRaw(spec FabricSpec, p *cost.Params, pat Pattern, size int) Result {
+	k := sim.NewKernel()
+	f := spec.Build(k, p)
+	n := f.Nodes()
+
+	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
+	sends, messages, bytes, _, maxSize := genAll(pat, n, size)
+	res.Messages, res.PayloadBytes = messages, bytes
+	res.MeanHops = meanHops(f, sends, messages)
+
+	dr := &rawDrive{k: k, f: f, payload: make([]byte, maxSize), size: size, lat: &res.Latency}
+	for i := 0; i < n; i++ {
+		f.Attach(i, dr)
+	}
+	for src := 0; src < n; src++ {
+		var at sim.Time
+		if list := sends[src]; len(list) > 0 {
+			at = sim.Time(list[0].At)
+		}
+		k.AtArg(at, injectNext, &rawInjector{dr: dr, hdr: p.FMHeaderBytes, src: src, sends: sends[src]})
+	}
+	if err := k.RunAll(); err != nil {
+		panic(err)
+	}
+	if dr.delivered != messages {
+		panic(fmt.Sprintf("workload: %s on %s delivered %d/%d packets",
+			pat.Name(), spec.Name, dr.delivered, messages))
+	}
+	res.Elapsed = sim.Duration(dr.last)
+	return res
+}
+
+// --- FM-stack driver ---
+
+// stamp writes the current virtual instant into the payload head so the
+// receiver can compute per-message latency; payloads shorter than the
+// timestamp skip it (the recorded distribution then only covers the
+// stampable messages).
+func stamp(buf []byte, now sim.Time) {
+	if len(buf) >= 8 {
+		binary.LittleEndian.PutUint64(buf, uint64(now))
+	}
+}
+
+func stampedAt(payload []byte) (sim.Time, bool) {
+	if len(payload) < 8 {
+		return 0, false
+	}
+	return sim.Time(binary.LittleEndian.Uint64(payload)), true
+}
+
+// waitUntil charges the rank's CPU until the send's earliest injection
+// instant.
+func waitUntil(ep *core.Endpoint, at sim.Duration) {
+	if d := at - sim.Duration(ep.Now()); d > 0 {
+		ep.CPU().Advance(d)
+	}
+}
+
+// DriveFM runs the pattern through the complete FM 1.0 stack (hosts,
+// SBus, LANai, LCP, flow control on every node) on the spec's fabric
+// using handler 0: every rank issues its send list as fast as the
+// layers allow, draining incoming messages while sending, then extracts
+// until it has received its expected share and its outstanding frames
+// are acknowledged.
+func DriveFM(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, size int) Result {
+	c := cluster.NewFMFrom(spec.Build, cfg, p)
+	n := c.Fab.Nodes()
+
+	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
+	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
+	res.Messages, res.PayloadBytes = messages, bytes
+	res.MeanHops = meanHops(c.Fab, sends, messages)
+
+	for id := 0; id < n; id++ {
+		id := id
+		c.Start(id, func(ep *core.Endpoint) {
+			got := 0
+			ep.RegisterHandler(0, func(src int, payload []byte) {
+				got++
+				if at, ok := stampedAt(payload); ok {
+					res.Latency.Record(ep.Now().Sub(at))
+				}
+			})
+			buf := make([]byte, maxSize)
+			for _, s := range sends[id] {
+				if s.At > 0 {
+					waitUntil(ep, s.At)
+				}
+				msg := buf[:sendSize(s, size)]
+				stamp(msg, ep.Now())
+				if err := ep.Send(s.Dst, 0, msg); err != nil {
+					panic(err)
+				}
+				ep.Extract() // keep draining while sending
+			}
+			for got < expect[id] || ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	res.Elapsed = sim.Duration(c.K.Now())
+	return res
+}
+
+// --- MPI driver ---
+
+// mpiDriveTag is the application tag DriveMPI stamps on every message.
+const mpiDriveTag = 1
+
+// DriveMPI runs the pattern through the MPI layer on the full FM stack:
+// every rank posts wildcard receives for its expected share, issues its
+// send list with blocking tagged sends, then completes receives as
+// their messages arrive (matching and reassembly included) and drains
+// its outstanding FM frames. The config's frame size bounds the MPI
+// fragment size, so payloads above one frame pay segmentation exactly
+// as applications would.
+func DriveMPI(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, size int) Result {
+	c := cluster.NewFMFrom(spec.Build, cfg, p)
+	n := c.Fab.Nodes()
+
+	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
+	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
+	res.Messages, res.PayloadBytes = messages, bytes
+	res.MeanHops = meanHops(c.Fab, sends, messages)
+
+	for id := 0; id < n; id++ {
+		id := id
+		c.Start(id, func(ep *core.Endpoint) {
+			comm := mpi.NewWorld(ep, n, 0)
+			pending := make([]*mpi.Request, expect[id])
+			for i := range pending {
+				pending[i] = comm.Irecv(mpi.AnySource, mpi.AnyTag)
+			}
+			buf := make([]byte, maxSize)
+			for _, s := range sends[id] {
+				if s.At > 0 {
+					waitUntil(ep, s.At)
+				}
+				msg := buf[:sendSize(s, size)]
+				stamp(msg, ep.Now())
+				comm.Send(s.Dst, mpiDriveTag, msg)
+			}
+			// Complete receives as they land: sweeping Done requests
+			// keeps the latency observation close to each message's
+			// actual arrival instead of the end of the run.
+			for len(pending) > 0 {
+				live := pending[:0]
+				for _, req := range pending {
+					if !req.Done() {
+						live = append(live, req)
+						continue
+					}
+					data, _ := comm.Wait(req)
+					if at, ok := stampedAt(data); ok {
+						res.Latency.Record(ep.Now().Sub(at))
+					}
+				}
+				pending = live
+				if len(pending) > 0 {
+					ep.WaitIncoming()
+					ep.Extract()
+				}
+			}
+			// Outstanding frames may still be rejected under incast
+			// overload; keep extracting so they retransmit.
+			for ep.Outstanding() > 0 {
+				ep.WaitIncoming()
+				ep.Extract()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	res.Elapsed = sim.Duration(c.K.Now())
+	return res
+}

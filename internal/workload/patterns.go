@@ -1,0 +1,239 @@
+package workload
+
+import "fmt"
+
+// The pattern catalog. The first two are ports of the traffic the
+// fabrics/scale experiments hand-rolled; the rest are the classical
+// interconnect stress patterns the paper's successors (and every
+// network-simulation suite since) measure.
+
+// AllToAll sends Rounds packets from every rank to every other rank,
+// destination order rotated per source so the pattern is not a
+// synchronized hotspot sweep.
+type AllToAll struct {
+	Rounds int
+}
+
+// Name implements Pattern.
+func (AllToAll) Name() string { return "all-to-all" }
+
+// Gen implements Pattern.
+func (a AllToAll) Gen(src, n int) []Send {
+	out := make([]Send, 0, a.Rounds*(n-1))
+	for r := 0; r < a.Rounds; r++ {
+		for off := 1; off < n; off++ {
+			out = append(out, Send{Dst: (src + off) % n})
+		}
+	}
+	return out
+}
+
+// Bisection pairs rank i with rank (i+n/2)%n: every packet crosses the
+// fabric's midline, the worst case for topologies without full
+// bisection bandwidth. The pairing needs an even rank count, so the
+// pattern implements NodeAdjuster and rounds odd jobs up by one.
+type Bisection struct {
+	Packets int
+}
+
+// Name implements Pattern.
+func (Bisection) Name() string { return "bisection" }
+
+// AdjustNodes implements NodeAdjuster: bisection pairing needs an even
+// node count.
+func (Bisection) AdjustNodes(n int) int {
+	if n%2 != 0 {
+		n++
+	}
+	return n
+}
+
+// Gen implements Pattern.
+func (b Bisection) Gen(src, n int) []Send {
+	out := make([]Send, b.Packets)
+	for i := range out {
+		out[i] = Send{Dst: (src + n/2) % n}
+	}
+	return out
+}
+
+// UniformRandom sends Packets messages from every rank to destinations
+// drawn uniformly from the other n-1 ranks. Each rank's stream is a
+// splitmix64 sequence derived from (Seed, src), so the pattern is
+// reproducible by construction: no global PRNG, no ordering hazards.
+// When MinBytes is positive, each send also draws a payload size
+// uniformly from [MinBytes, MaxBytes] (an inverted range is a
+// programming error and panics); otherwise sends use the driver's
+// default size.
+type UniformRandom struct {
+	Seed    uint64
+	Packets int
+	// MinBytes and MaxBytes bound the optional per-send payload size
+	// draw. MinBytes zero (the default) leaves sizing to the driver.
+	MinBytes, MaxBytes int
+}
+
+// Name implements Pattern.
+func (UniformRandom) Name() string { return "uniform-random" }
+
+// Gen implements Pattern.
+func (u UniformRandom) Gen(src, n int) []Send {
+	if u.MinBytes > 0 && u.MaxBytes < u.MinBytes {
+		panic(fmt.Sprintf("workload: UniformRandom size range [%d, %d] is inverted",
+			u.MinBytes, u.MaxBytes))
+	}
+	if n < 2 {
+		return nil // no other rank to draw
+	}
+	rng := newSplitMix64(u.Seed, uint64(src))
+	out := make([]Send, u.Packets)
+	for i := range out {
+		dst := int(rng.next() % uint64(n-1))
+		if dst >= src {
+			dst++ // skip self: map [0,n-2] onto the other n-1 ranks
+		}
+		s := Send{Dst: dst}
+		if u.MinBytes > 0 {
+			s.Size = u.MinBytes + int(rng.next()%uint64(u.MaxBytes-u.MinBytes+1))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Tornado is the classical adversarial permutation: every rank sends
+// Packets messages to the rank almost half way around the ring,
+// (src + ceil(n/2) - 1) mod n. On ring-like topologies the offset
+// defeats shortest-path load balancing; on a full-bisection fabric it
+// is just another permutation.
+type Tornado struct {
+	Packets int
+}
+
+// Name implements Pattern.
+func (Tornado) Name() string { return "tornado" }
+
+// Gen implements Pattern.
+func (t Tornado) Gen(src, n int) []Send {
+	if n < 2 {
+		return nil // no other rank to shift onto
+	}
+	shift := (n+1)/2 - 1
+	if shift < 1 {
+		shift = 1 // degenerate 2-rank job: the only other rank
+	}
+	out := make([]Send, t.Packets)
+	for i := range out {
+		out[i] = Send{Dst: (src + shift) % n}
+	}
+	return out
+}
+
+// Incast is the k-to-1 convergence pattern (the Discussion's hotspot):
+// every rank except Target sends Packets messages to Target. It is the
+// stress case for receiver-side flow control — under FM's
+// return-to-sender discipline the overflow lives at the senders.
+type Incast struct {
+	Target  int
+	Packets int
+}
+
+// Name implements Pattern.
+func (Incast) Name() string { return "incast" }
+
+// Gen implements Pattern.
+func (c Incast) Gen(src, n int) []Send {
+	if src == c.Target%n {
+		return nil
+	}
+	out := make([]Send, c.Packets)
+	for i := range out {
+		out[i] = Send{Dst: c.Target % n}
+	}
+	return out
+}
+
+// Neighbor is the ring-shift/halo-exchange pattern: each round, every
+// rank sends one message to its left neighbor and one to its right
+// neighbor (in that order). With Wrap the ring closes; without it the
+// boundary ranks skip their missing side — exactly the communication
+// structure of a 1-D stencil halo exchange (examples/halo). Bytes, when
+// positive, sizes every message (a halo is a fixed few bytes).
+type Neighbor struct {
+	Rounds int
+	Wrap   bool
+	Bytes  int
+}
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Gen implements Pattern.
+func (g Neighbor) Gen(src, n int) []Send {
+	left, right := src-1, src+1
+	if g.Wrap {
+		left, right = (src+n-1)%n, (src+1)%n
+		if right == left {
+			right = src // 2-rank ring: one distinct neighbor, one send
+		}
+	}
+	var out []Send
+	for r := 0; r < g.Rounds; r++ {
+		if left >= 0 && left != src {
+			out = append(out, Send{Dst: left, Size: g.Bytes})
+		}
+		if right < n && right != src {
+			out = append(out, Send{Dst: right, Size: g.Bytes})
+		}
+	}
+	return out
+}
+
+// Broadcast is the storm pattern: rank Root sends Rounds copies to
+// every other rank, in ascending rank order per round — the 1-to-all
+// inverse of incast, serialized at the root's single uplink.
+type Broadcast struct {
+	Root   int
+	Rounds int
+}
+
+// Name implements Pattern.
+func (Broadcast) Name() string { return "broadcast" }
+
+// Gen implements Pattern.
+func (b Broadcast) Gen(src, n int) []Send {
+	if src != b.Root%n {
+		return nil
+	}
+	out := make([]Send, 0, b.Rounds*(n-1))
+	for r := 0; r < b.Rounds; r++ {
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				out = append(out, Send{Dst: dst})
+			}
+		}
+	}
+	return out
+}
+
+// splitMix64 is the SplitMix64 PRNG (Steele, Lea, Flood 2014): one
+// 64-bit state word, period 2^64, and statistically solid output from
+// any seed — including sequential ones, which is why per-rank streams
+// can be derived by simple seed arithmetic.
+type splitMix64 struct {
+	state uint64
+}
+
+// newSplitMix64 derives the stream for one rank: the golden-ratio
+// increment separates adjacent ranks' streams.
+func newSplitMix64(seed, stream uint64) *splitMix64 {
+	return &splitMix64{state: seed + stream*0x9e3779b97f4a7c15}
+}
+
+func (r *splitMix64) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
