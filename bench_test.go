@@ -222,6 +222,37 @@ func BenchmarkKernelEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelEventsWide drives the event loop with a wide pending
+// population: 4096 event chains spread over a 1ms window, sharing a
+// rescheduling budget of width*hops decrements (width seeds plus
+// width*hops-1 rescheduled events = 36,863 events per op) — the queue
+// shape of a large-fabric simulation (the scale experiment holds
+// thousands of pending events), where per-event cost is dominated by
+// the scheduler structure itself.
+func BenchmarkKernelEventsWide(b *testing.B) {
+	b.ReportAllocs()
+	const width, hops = 4096, 8
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		left := width * hops
+		var hop func()
+		hop = func() {
+			if left--; left > 0 {
+				// Deterministic spread: stride the window so neighbors in
+				// the queue are far apart in time, defeating any
+				// insertion locality.
+				k.After(sim.Duration(1+left%997)*sim.Microsecond, hop)
+			}
+		}
+		for j := 0; j < width; j++ {
+			k.After(sim.Duration(1+j%997)*sim.Microsecond, hop)
+		}
+		if err := k.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFabricForward builds a 64-node Clos and forwards 1024 raw
 // packets across it (16 per source, rotating destinations): the packet
 // pipeline with no host stack on top.

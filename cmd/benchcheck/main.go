@@ -1,0 +1,179 @@
+// Command benchcheck guards the allocation discipline of the hot-path
+// benchmarks: it parses `go test -bench` output and fails if any
+// benchmark's allocs/op regressed more than the threshold against the
+// committed BENCH_*.json baselines.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchtime 100x . | tee bench.out
+//	go run ./cmd/benchcheck [-baselines 'BENCH_*.json'] [-threshold 1.25] bench.out
+//
+// Wall-clock ns/op is deliberately not gated — CI machines vary too
+// much — but allocs/op is deterministic for these benchmarks, so any
+// growth beyond the threshold is a real regression in the engine's
+// pooling/reuse discipline (see DESIGN.md "Performance").
+//
+// Baseline schema: each BENCH_*.json holds {"benchmarks": [{"name":
+// ..., then either "after" or "baseline": {"allocs_per_op": N}}]}.
+// When several files name the same benchmark, the newest baseline
+// wins; files are ordered shortest-name-first, then lexicographically,
+// so BENCH_pr10.json correctly sorts after BENCH_pr5.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type entry struct {
+	file   string
+	allocs float64
+}
+
+// loadBaselines walks the glob in name order and collects every
+// benchmark's committed allocs/op, later files overriding earlier ones.
+func loadBaselines(glob string) (map[string]entry, error) {
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no baseline files match %q", glob)
+	}
+	// Shortest-name-first, then lexicographic: for same-prefix files
+	// this is numeric order (pr3 < pr5 < pr10), so later PRs override.
+	sort.Slice(files, func(i, j int) bool {
+		if len(files[i]) != len(files[j]) {
+			return len(files[i]) < len(files[j])
+		}
+		return files[i] < files[j]
+	})
+	base := map[string]entry{}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var doc struct {
+			Benchmarks []struct {
+				Name  string `json:"name"`
+				After *struct {
+					Allocs *float64 `json:"allocs_per_op"`
+				} `json:"after"`
+				Baseline *struct {
+					Allocs *float64 `json:"allocs_per_op"`
+				} `json:"baseline"`
+			} `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %v", f, err)
+		}
+		for _, b := range doc.Benchmarks {
+			var allocs *float64
+			switch {
+			case b.After != nil && b.After.Allocs != nil:
+				allocs = b.After.Allocs
+			case b.Baseline != nil && b.Baseline.Allocs != nil:
+				allocs = b.Baseline.Allocs
+			}
+			if b.Name != "" && allocs != nil {
+				base[b.Name] = entry{file: f, allocs: *allocs}
+			}
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("no benchmark baselines found in %q", glob)
+	}
+	return base, nil
+}
+
+// benchLine matches `BenchmarkName-8   100   12345 ns/op ... 17 allocs/op`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s.*?([\d.]+)\s+allocs/op`)
+
+func main() {
+	glob := flag.String("baselines", "BENCH_*.json", "glob of committed baseline files")
+	threshold := flag.Float64("threshold", 1.25, "fail when measured allocs/op exceed baseline by this factor")
+	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baselined benchmark is absent from the input (for subset runs)")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	base, err := loadBaselines(*glob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	checked, failed := 0, 0
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		b, ok := base[name]
+		if !ok {
+			continue // benchmark without a committed baseline: informational only
+		}
+		seen[name] = true
+		got, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		checked++
+		limit := b.allocs * *threshold
+		if got > limit {
+			failed++
+			fmt.Printf("FAIL %s: %.0f allocs/op exceeds %.0f (baseline %.0f in %s, threshold x%.2f)\n",
+				name, got, limit, b.allocs, b.file, *threshold)
+		} else {
+			fmt.Printf("ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, got, b.allocs, limit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: reading input: %v\n", err)
+		os.Exit(1)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark with a committed baseline appeared in the input")
+		os.Exit(1)
+	}
+	if !*allowMissing {
+		// A baselined benchmark that never appeared means the gate
+		// quietly narrowed (renamed benchmark, trimmed -bench regex);
+		// fail so the baseline and the run are reconciled explicitly.
+		names := make([]string, 0, len(base))
+		for name := range base {
+			if !seen[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			failed++
+			fmt.Printf("FAIL %s: baselined in %s but absent from the benchmark run\n", name, base[name].file)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmark(s) within the x%.2f allocation budget\n", checked, *threshold)
+}

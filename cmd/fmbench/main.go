@@ -8,7 +8,9 @@
 //
 //	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale]
 //	        [-paper-exact] [-packets N] [-rounds N] [-workers N]
-//	        [-fabric-nodes N] [-pattern-nodes N] [-csv DIR] [-list]
+//	        [-fabric-nodes N] [-pattern-nodes N] [-scale-nodes LIST]
+//	        [-csv DIR] [-list] [-timing]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Output is aligned text on stdout; -csv additionally writes one CSV per
 // curve (and per table) for plotting. -paper-exact uses the paper's
@@ -17,24 +19,40 @@
 // pool (-workers, default one per CPU); results are identical at any
 // worker count.
 //
+// -timing appends one wall-clock line per experiment (off by default,
+// so default outputs stay byte-identical run to run); -scale-nodes
+// caps or extends the scale sweep (comma-separated node counts);
+// -cpuprofile/-memprofile write pprof profiles of the run for
+// hot-path work on the simulator itself.
+//
 // -list prints every registered experiment id with its one-line
 // description and exits. `-experiment all` runs the paper set;
-// long-running extended experiments (scale: Clos sweeps to 1024 nodes
-// through the full FM stack) run only when named explicitly. An unknown
-// experiment id is rejected, with the valid ids listed, before anything
-// runs.
+// long-running extended experiments (scale: Clos sweeps to 4096 nodes
+// through the full FM stack, ~30 minutes at the default node list)
+// run only when named explicitly. An unknown experiment id is
+// rejected, with the valid ids listed, before anything runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"fm/internal/bench"
 )
 
+// main defers to run so error exits still flush a -cpuprofile in
+// progress (os.Exit would skip the deferred StopCPUProfile).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("experiment", "all", "comma-separated experiment ids (all, "+strings.Join(bench.IDs(), ", ")+")")
 	paperExact := flag.Bool("paper-exact", false, "use the paper's measurement lengths (65,535 packets per point)")
 	packets := flag.Int("packets", 0, "override packets per bandwidth point")
@@ -42,8 +60,12 @@ func main() {
 	workers := flag.Int("workers", 0, "override harness parallelism (default: one per CPU)")
 	fabricNodes := flag.Int("fabric-nodes", 0, "override node count for the fabrics experiment (default 64)")
 	patternNodes := flag.Int("pattern-nodes", 0, "override node count for the patterns experiment (default 32)")
+	scaleNodes := flag.String("scale-nodes", "", "override the scale sweep's node counts (comma-separated, e.g. 64,256,1024)")
 	csvDir := flag.String("csv", "", "also write CSV series into this directory")
 	list := flag.Bool("list", false, "list every experiment id with its description and exit")
+	timing := flag.Bool("timing", false, "print wall-clock time per experiment (off by default: outputs stay byte-identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
@@ -54,7 +76,7 @@ func main() {
 		for _, e := range bench.Extended() {
 			fmt.Printf("%-10s %s (extended: not part of `all`)\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	opt := bench.DefaultOptions()
@@ -75,6 +97,18 @@ func main() {
 	}
 	if *patternNodes > 0 {
 		opt.PatternNodes = *patternNodes
+	}
+	if *scaleNodes != "" {
+		var nodes []int
+		for _, f := range strings.Split(*scaleNodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "fmbench: bad -scale-nodes entry %q\n", f)
+				return 2
+			}
+			nodes = append(nodes, n)
+		}
+		opt.ScaleNodes = nodes
 	}
 
 	// Validate every requested id before running anything: a typo in a
@@ -102,19 +136,55 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "fmbench: unknown experiment %q\nvalid ids: all, %s\n",
 				id, strings.Join(bench.IDs(), ", "))
-			os.Exit(2)
+			return 2
 		}
 		add(e)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Deferred so an error exit after a long run still captures the
+		// heap profile, matching the CPU profile's flush-on-exit.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			}
+			_ = f.Close()
+		}()
+	}
+
 	for _, e := range run {
+		start := time.Now()
 		report := e.Run(opt)
+		elapsed := time.Since(start)
 		report.WriteText(os.Stdout)
+		if *timing {
+			fmt.Printf("timing: %-10s %8.2fs wall\n\n", e.ID, elapsed.Seconds())
+		}
 		if *csvDir != "" {
 			if err := report.WriteCSV(*csvDir); err != nil {
 				fmt.Fprintf(os.Stderr, "fmbench: writing CSV: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+
+	return 0
 }

@@ -61,7 +61,7 @@ func DefaultOptions() Options {
 		Workers:      defaultWorkers(),
 		FabricNodes:  64,
 		PatternNodes: 32,
-		ScaleNodes:   []int{64, 128, 256, 512, 1024},
+		ScaleNodes:   []int{64, 128, 256, 512, 1024, 2048, 4096},
 	}
 }
 
@@ -151,7 +151,7 @@ func All() []Experiment {
 // dwarfs the paper reproductions. Run them by id.
 func Extended() []Experiment {
 	return []Experiment{
-		{"scale", "Clos scaling sweep: 64 to 1024 nodes, raw fabric and full FM stack", Scale},
+		{"scale", "Clos scaling sweep: 64 to 4096 nodes, raw fabric and full FM stack (~30 min; trim with -scale-nodes)", Scale},
 	}
 }
 

@@ -11,17 +11,20 @@ import (
 )
 
 // The scale experiment: the fabrics comparison at production sizes. It
-// sweeps full-bisection 2-level Clos fabrics from 64 to 1024 nodes and
+// sweeps full-bisection 2-level Clos fabrics from 64 to 4096 nodes and
 // drives each with all-to-all and bisection traffic at the raw network
 // level, plus a complete-FM-stack all-to-all (hosts, SBus, LANai, LCP,
 // flow control on every node). Before the engine went allocation-light
 // (pooled packets, closure-free events, demand-cached routes) the
-// 1024-node points were impractical to run; now they are a routine
-// check that the simulated fabric and protocol scale together.
+// 1024-node points were impractical to run; the ladder-queue scheduler
+// and symmetric process handoff (DESIGN.md "Performance") then bought
+// the headroom for 2048 and 4096 — the 4096-node FM point pushes
+// ~16.8 million full-stack messages. Trim a run with -scale-nodes, and
+// use -timing to see where the wall-clock goes.
 //
 // The experiment is in the extended registry, not `-experiment all`:
-// the 1024-node FM point simulates over a million full-stack messages
-// and dominates any all-experiments run.
+// its FM points simulate tens of millions of full-stack messages and
+// dominate any all-experiments run.
 
 // scaleSpec returns the full-bisection Clos at n nodes
 // (workload.ClosSpec), renamed so panic messages identify the sweep

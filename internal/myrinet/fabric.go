@@ -219,6 +219,13 @@ func (f *Fabric) Route(src, dst int) []*Switch {
 // Attach registers the sink that receives packets addressed to node id.
 func (f *Fabric) Attach(id int, s Sink) { f.sinks[id] = s }
 
+// HintRoutes pre-sizes the demand-filled route cache for an expected
+// number of distinct (source switch, destination node) entries, so a
+// workload that touches many pairs fills the cache without incremental
+// map growth. A hint after entries exist is ignored; the cache works
+// identically (just with rehashes) if no hint is ever given.
+func (f *Fabric) HintRoutes(routes int) { f.router.hintRoutes(routes) }
+
 // Stats returns a copy of the traffic counters.
 func (f *Fabric) Stats() Stats { return f.stats }
 

@@ -207,6 +207,15 @@ func (r *router) checkConnected() {
 	}
 }
 
+// hintRoutes re-seeds the (still empty) route cache with capacity for n
+// entries. Callers know the workload's reach (workload geometry: nodes,
+// switches, message count); the router itself cannot guess it.
+func (r *router) hintRoutes(n int) {
+	if len(r.cache) == 0 && n > 0 {
+		r.cache = make(map[[2]int][]hop, n)
+	}
+}
+
 // distances returns (computing and caching on first use) the hop count
 // from every switch to dstSw.
 func (r *router) distances(dstSw int) []int {

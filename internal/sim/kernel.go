@@ -10,16 +10,36 @@ import (
 // A Kernel (and everything scheduled on it) must be driven from a single
 // goroutine; process goroutines are synchronized internally so that only
 // one of them is ever runnable at a time.
+//
+// Scheduling is symmetric: there is no dedicated scheduler goroutine
+// that every process handoff must bounce through. Whichever goroutine
+// holds control — the Run caller initially, afterwards whichever process
+// last blocked — drives the event loop itself (see drive), and hands the
+// baton directly to the next process to wake. A process-to-process
+// switch therefore costs one channel rendezvous instead of two, and a
+// process whose own wake event is next continues without any rendezvous
+// at all. Event order is untouched: the queue pops in the same (at, seq)
+// order regardless of which goroutine is driving.
 type Kernel struct {
 	now     Time
-	heap    eventHeap
+	q       ladder
 	seq     uint64
+	horizon Time
 	stopped bool
 	failure error
 
-	// yield is the handoff channel on which a running process returns
-	// control to the kernel. It is unbuffered: resuming a process and
-	// waiting for it to block again is a strict rendezvous.
+	// wake is the deferred process-resume slot: the rare event callbacks
+	// that wake a process from inside arbitrary code (WaitTimeout's
+	// timer, via requestWake) record it here, and the drive loop
+	// performs the actual baton handoff in tail position. The hot wake
+	// form is a nil-fn event handled directly by drive. At most one
+	// event callback runs at a time and each wakes at most one process,
+	// so a single slot suffices.
+	wake *Proc
+
+	// yield is the handoff channel on which the goroutine that completes
+	// (or tears down) a run returns control to the Run caller. It is
+	// unbuffered: every transfer is a strict rendezvous.
 	yield chan struct{}
 
 	// parked holds processes blocked on a Signal (as opposed to a timed
@@ -64,7 +84,9 @@ func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	k.heap.Push(event{at: t, seq: k.seq, fn: fn, arg: arg})
+	if e := (event{at: t, seq: k.seq, fn: fn, arg: arg}); !k.q.pushFast(e) {
+		k.q.pushSlow(e)
+	}
 }
 
 // After schedules fn to run d after the current time.
@@ -84,19 +106,118 @@ func (k *Kernel) AfterArg(d Duration, fn func(any), arg any) {
 	k.AtArg(k.now.Add(d), fn, arg)
 }
 
+// drive outcomes.
+const (
+	// driveHanded: the baton went to another process; the calling
+	// goroutine must park (or exit, if its process has terminated).
+	driveHanded = iota
+	// driveSelf: the next event resumed the driving process itself; it
+	// simply keeps running — no rendezvous happened.
+	driveSelf
+	// driveDone: the run is complete (queue empty, horizon reached, or a
+	// failure recorded); control belongs back with the Run caller.
+	driveDone
+)
+
+// drive executes events until the run completes or a process other than
+// self must be resumed, in which case it sends the baton and returns
+// driveHanded. self is the process whose goroutine is driving (nil for
+// the Run caller or a terminated process); a wake addressed to self
+// returns driveSelf without any channel traffic.
+//
+// Process wakes appear in two forms: as wake events (fn == nil, arg =
+// *Proc — the hot form Sleep, Pulse, and Spawn schedule, handled here
+// without any dispatch), and as the deferred wake slot filled by event
+// callbacks (WaitTimeout's timer).
+//
+// Events sharing a timestamp drain in an inner batch loop: the clock is
+// written once and the horizon is not re-checked, because an event at
+// time t can only be followed at t by events that were already in order
+// behind it (including any it schedules itself, which take later seq
+// numbers and sort behind pending same-instant events exactly as they
+// did under the binary heap).
+func (k *Kernel) drive(self *Proc) int {
+	q := &k.q
+	for {
+		if p := k.wake; p != nil {
+			k.wake = nil
+			if p == self {
+				return driveSelf
+			}
+			p.resume <- struct{}{}
+			return driveHanded
+		}
+		if k.failure != nil || q.count == 0 {
+			return driveDone
+		}
+		if q.PeekAt() > k.horizon {
+			return driveDone
+		}
+		// Hand-inlined pops: PeekAt has refilled the near tier for the
+		// first, NextIsAt guarantees a pending event for the rest.
+		e := q.near[q.head]
+		q.head++
+		q.count--
+		if q.head >= nearKeep && q.head*2 >= len(q.near) {
+			q.maintainNear()
+		}
+		k.now = e.at
+		for {
+			k.eventsRun++
+			if e.fn == nil {
+				p := e.arg.(*Proc)
+				if p == self {
+					return driveSelf
+				}
+				p.resume <- struct{}{}
+				return driveHanded
+			}
+			e.call()
+			if k.wake != nil || k.failure != nil || !q.NextIsAt(k.now) {
+				break
+			}
+			e = q.near[q.head]
+			q.head++
+			q.count--
+			if q.head >= nearKeep && q.head*2 >= len(q.near) {
+				q.maintainNear()
+			}
+		}
+	}
+}
+
+// scheduleWake schedules the hot-form wake event for p at absolute time
+// t: fn == nil marks it for direct handoff in the drive loop.
+func (k *Kernel) scheduleWake(t Time, p *Proc) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling wake at %v before now %v", t, k.now))
+	}
+	k.seq++
+	if e := (event{at: t, seq: k.seq, arg: p}); !k.q.pushFast(e) {
+		k.q.pushSlow(e)
+	}
+}
+
+// requestWake records p for resumption by the drive loop. Event
+// callbacks must use this instead of touching the process directly so
+// the handoff happens in tail position, after the callback has returned.
+func (k *Kernel) requestWake(p *Proc) {
+	if k.wake != nil {
+		panic("sim: one event woke two processes")
+	}
+	k.wake = p
+}
+
 // Run executes events until the queue is empty or the horizon is reached,
 // then unwinds any processes still parked on signals. horizon may be
 // MaxTime for an unbounded run. It returns the first process failure, if
 // any process panicked.
 func (k *Kernel) Run(horizon Time) error {
-	for k.heap.Len() > 0 && k.failure == nil {
-		if k.heap.Peek().at > horizon {
-			break
-		}
-		e := k.heap.Pop()
-		k.now = e.at
-		k.eventsRun++
-		e.call()
+	k.horizon = horizon
+	if k.drive(nil) == driveHanded {
+		// The baton is out with the processes; park until whichever
+		// goroutine completes the run hands it back.
+		<-k.yield
 	}
 	k.stopParked()
 	return k.failure
@@ -121,22 +242,39 @@ func (k *Kernel) stopParked() {
 		for _, p := range ps {
 			if _, still := k.parked[p]; still {
 				delete(k.parked, p)
-				k.resumeProc(p)
+				k.rendezvous(p)
 			}
 		}
 	}
 	// Any remaining timed sleepers still hold pending wake events; run
 	// them so the goroutines observe stopped and unwind.
-	for k.heap.Len() > 0 {
-		e := k.heap.Pop()
-		// Do not advance the clock during teardown.
+	for k.q.Len() > 0 {
+		e := k.q.Pop()
+		// Do not advance the clock during teardown. A failed run can
+		// leave stale wakes for processes that already unwound (e.g. a
+		// Pulse drained here naming a dead waiter); skip those — a dead
+		// process's goroutine is gone and cannot take a rendezvous.
+		if e.fn == nil {
+			if p := e.arg.(*Proc); !p.dead {
+				k.rendezvous(p)
+			}
+			continue
+		}
 		e.call()
+		if p := k.wake; p != nil {
+			k.wake = nil
+			if !p.dead {
+				k.rendezvous(p)
+			}
+		}
 	}
 }
 
-// resumeProc transfers control to p and waits for it to block again or
-// terminate. Must only be called from kernel context.
-func (k *Kernel) resumeProc(p *Proc) {
+// rendezvous transfers control to p and waits for it to give control
+// back on the yield channel. It is the teardown-path handoff: during a
+// run, transfers go through drive instead, which does not take control
+// back.
+func (k *Kernel) rendezvous(p *Proc) {
 	p.resume <- struct{}{}
 	<-k.yield
 }

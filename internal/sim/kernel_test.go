@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -259,6 +260,23 @@ func TestProcPanicSurfaces(t *testing.T) {
 	}
 }
 
+// TestCallbackPanicAttribution pins failure blame under symmetric
+// scheduling: a panic inside a plain event callback that happens to run
+// on a driving process's goroutine must be reported as a callback
+// failure, not as that process panicking.
+func TestCallbackPanicAttribution(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("innocent", func(p *Proc) { p.Sleep(10 * Microsecond) })
+	k.At(Time(Microsecond), func() { panic("callback boom") })
+	err := k.RunAll()
+	if err == nil {
+		t.Fatal("expected error from panicking callback")
+	}
+	if !strings.Contains(err.Error(), "event callback panicked") {
+		t.Fatalf("callback panic misattributed: %v", err)
+	}
+}
+
 func TestStopUnwindsParkedProcs(t *testing.T) {
 	k := NewKernel()
 	s := NewSignal(k, "never")
@@ -307,36 +325,170 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-// TestHeapProperty checks the event heap against a sort-based oracle.
-func TestHeapProperty(t *testing.T) {
+// ladderKey is the (at, seq) order key the ladder oracle sorts by.
+type ladderKey struct {
+	at  Time
+	seq uint64
+}
+
+func sortKeys(keys []ladderKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].at != keys[j].at {
+			return keys[i].at < keys[j].at
+		}
+		return keys[i].seq < keys[j].seq
+	})
+}
+
+// TestLadderProperty checks the ladder queue against a sort-based oracle
+// (the successor of the seed's TestHeapProperty): for random push sets
+// the queue must pop in exact (at, seq) order. The time mask keeps many
+// equal timestamps in play so seq tie-breaking is exercised, and the
+// population sizes cross the spill/split thresholds so far-tier paths
+// run too.
+func TestLadderProperty(t *testing.T) {
 	f := func(times []int64) bool {
-		var h eventHeap
-		type key struct {
-			at  Time
-			seq uint64
-		}
-		var keys []key
+		var q ladder
+		var keys []ladderKey
 		for i, ti := range times {
-			at := Time(ti & 0xFFFFF) // keep times small and non-negative
-			h.Push(event{at: at, seq: uint64(i)})
-			keys = append(keys, key{at, uint64(i)})
+			at := Time(ti & 0xFFFFF) // small, non-negative, heavy on ties
+			q.Push(event{at: at, seq: uint64(i)})
+			keys = append(keys, ladderKey{at, uint64(i)})
 		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].at != keys[j].at {
-				return keys[i].at < keys[j].at
-			}
-			return keys[i].seq < keys[j].seq
-		})
+		sortKeys(keys)
 		for _, want := range keys {
-			got := h.Pop()
+			if q.PeekAt() != want.at {
+				return false
+			}
+			got := q.Pop()
 			if got.at != want.at || got.seq != want.seq {
 				return false
 			}
 		}
-		return h.Len() == 0
+		return q.Len() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLadderPushDuringPop drains a randomized queue while concurrently
+// pushing new events at or after the current pop time — the kernel's
+// actual access pattern (event callbacks scheduling follow-ups) — and
+// checks the merged sequence against the oracle. Pushes land on every
+// side of bucket-split and near-tier boundaries, including exact
+// same-timestamp ties with in-flight events.
+func TestLadderPushDuringPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var q ladder
+		var pending []ladderKey
+		var seq uint64
+		push := func(at Time) {
+			seq++
+			q.Push(event{at: at, seq: seq})
+			pending = append(pending, ladderKey{at, seq})
+		}
+		// Seed population: wide spread to build rungs plus dense ties.
+		n := 200 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			push(Time(rng.Int63n(1 << (10 + rng.Intn(30)))))
+		}
+		var got []ladderKey
+		for q.Len() > 0 {
+			e := q.Pop()
+			got = append(got, ladderKey{e.at, e.seq})
+			// Schedule follow-ups relative to the current instant, as
+			// event callbacks do: same-instant ties, near-future, and
+			// far-future beyond any existing tier boundary.
+			if rng.Intn(3) == 0 && len(got) < 3*n {
+				switch rng.Intn(4) {
+				case 0:
+					push(e.at) // same-timestamp tie: must pop after equal-at pending
+				case 1:
+					push(e.at + Time(rng.Int63n(64)))
+				case 2:
+					push(e.at + Time(rng.Int63n(1<<20)))
+				default:
+					push(e.at + Time(rng.Int63n(1<<40)))
+				}
+			}
+		}
+		sortKeys(pending)
+		if len(got) != len(pending) {
+			t.Fatalf("trial %d: popped %d of %d events", trial, len(got), len(pending))
+		}
+		for i := range pending {
+			if got[i] != pending[i] {
+				t.Fatalf("trial %d: pop %d = %+v, want %+v", trial, i, got[i], pending[i])
+			}
+		}
+	}
+}
+
+// TestLadderSameInstantBurst pins the pure tie-breaking path: a large
+// burst at one instant (well past the spill threshold) must come back in
+// seq order, and a second burst pushed mid-drain must follow the first.
+func TestLadderSameInstantBurst(t *testing.T) {
+	var q ladder
+	const at = Time(12345)
+	for i := 0; i < 3000; i++ {
+		q.Push(event{at: at, seq: uint64(i)})
+	}
+	for i := 0; i < 1500; i++ {
+		if e := q.Pop(); e.at != at || e.seq != uint64(i) {
+			t.Fatalf("pop %d = (%v, %d)", i, e.at, e.seq)
+		}
+	}
+	for i := 3000; i < 3100; i++ {
+		q.Push(event{at: at, seq: uint64(i)})
+	}
+	for i := 1500; i < 3100; i++ {
+		if e := q.Pop(); e.at != at || e.seq != uint64(i) {
+			t.Fatalf("pop %d = (%v, %d)", i, e.at, e.seq)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// TestLadderSplitBoundaries forces the lazy bucket-split machinery
+// (population just above splitThreshold packed into one coarse bucket)
+// and verifies exact order across the split boundaries.
+func TestLadderSplitBoundaries(t *testing.T) {
+	var q ladder
+	var keys []ladderKey
+	var seq uint64
+	push := func(at Time) {
+		seq++
+		q.Push(event{at: at, seq: seq})
+		keys = append(keys, ladderKey{at, seq})
+	}
+	// Overflow the near tier with a wide spread: the spill carves a rung
+	// with coarse buckets (width ~ span/rungBuckets).
+	for i := 0; i <= nearSpill; i++ {
+		push(Time(1_000_000 + i*10_000))
+	}
+	// Then land a dense cluster — more than splitThreshold events across
+	// a few distinct timestamps — inside a single coarse bucket of that
+	// rung. Its first touch during the drain must split it into a finer
+	// rung.
+	for i := 0; i < 4*splitThreshold; i++ {
+		push(Time(1_800_000 + i%100))
+	}
+	sortKeys(keys)
+	for i, want := range keys {
+		got := q.Pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop %d = (%v,%d), want (%v,%d)", i, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if q.splits == 0 {
+		t.Fatal("workload never exercised a bucket split")
+	}
+	if q.spills == 0 {
+		t.Fatal("workload never exercised a near-tier spill")
 	}
 }
 
@@ -402,6 +554,89 @@ func TestSteadyStateSchedulingAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state scheduling allocates %.1f objects per generation, want 0", allocs)
+	}
+}
+
+// TestLadderExhaustedRungRouting pins the scale-sweep regression where
+// an event was routed into an exhausted rung (transfer cursor at the
+// end, but the rung not yet released) and silently parked behind the
+// cursor, never to pop. The geometry reproduces it: a spill builds a
+// coarse rung whose last bucket holds a dense cluster; touching that
+// bucket splits it into a finer rung and exhausts the parent; a push
+// landing between the finer rung's span and the parent's nominal end
+// must then route past the exhausted parent to the top tier.
+func TestLadderExhaustedRungRouting(t *testing.T) {
+	var q ladder
+	var keys []ladderKey
+	var seq uint64
+	push := func(at Time) {
+		seq++
+		q.Push(event{at: at, seq: seq})
+		keys = append(keys, ladderKey{at, seq})
+	}
+	for i := 0; i <= nearSpill; i++ {
+		push(Time(1_000_000 + i*10_000)) // wide spread: spill into a coarse rung
+	}
+	for i := 0; i < 2*splitThreshold+8; i++ {
+		push(Time(2_271_000 + i%100)) // dense cluster in the rung's last bucket
+	}
+	var got []ladderKey
+	pushedLate := false
+	for q.Len() > 0 {
+		e := q.Pop()
+		got = append(got, ladderKey{e.at, e.seq})
+		if !pushedLate && e.at >= 2_271_000 {
+			// The split has happened and the parent rung is exhausted;
+			// this lands past the finer rung's span (which ends just
+			// above the cluster) but below the parent's nominal end.
+			pushedLate = true
+			push(Time(2_283_000))
+		}
+	}
+	sortKeys(keys)
+	if len(got) != len(keys) {
+		t.Fatalf("popped %d of %d events (exhausted rung swallowed %d)",
+			len(got), len(keys), len(keys)-len(got))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("pop %d = %+v, want %+v", i, got[i], keys[i])
+		}
+	}
+	if q.splits == 0 {
+		t.Fatal("scenario no longer exercises a bucket split; rebuild the geometry")
+	}
+}
+
+// TestLadderBucketReuse extends the high-water allocation discipline to
+// the ladder's far tiers: once a generation of far-future scheduling has
+// grown the rungs, bucket arrays, and top tier to capacity, subsequent
+// identical generations must run allocation-free — rung structs and
+// bucket arrays are recycled, not reallocated.
+func TestLadderBucketReuse(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	generation := func() {
+		// Spread far enough apart to defeat the near tier (forcing
+		// spills, rungs, and top-tier rebucketing) and big enough to
+		// split buckets.
+		base := k.Now()
+		for i := 0; i < 3000; i++ {
+			at := base.Add(Duration(1+i%7) * Microsecond * Duration(1+i%53)).Add(Duration(i) * 40 * Millisecond)
+			k.AtArg(at, countArg, &count)
+		}
+		if err := k.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	generation() // reach high-water capacity
+	generation()
+	allocs := testing.AllocsPerRun(10, generation)
+	if allocs != 0 {
+		t.Errorf("steady-state far-tier scheduling allocates %.1f objects per generation, want 0", allocs)
+	}
+	if k.q.transfers == 0 || k.q.spills == 0 {
+		t.Fatalf("workload did not exercise the far tiers (transfers=%d spills=%d)", k.q.transfers, k.q.spills)
 	}
 }
 

@@ -6,14 +6,21 @@ import "fmt"
 // tearing down, so that blocked processes unwind their stacks and exit.
 type stopSentinel struct{}
 
-// procFailure wraps a panic raised by process code so the kernel can
-// surface it from Run instead of deadlocking.
+// procFailure wraps a panic raised on a process goroutine so the kernel
+// can surface it from Run instead of deadlocking. driving distinguishes
+// a panic in the process's own code from one raised by an event
+// callback the process happened to be executing as the event-loop
+// driver (see block) — the latter is not the process's fault.
 type procFailure struct {
-	proc string
-	val  any
+	proc    string
+	val     any
+	driving bool
 }
 
 func (f procFailure) Error() string {
+	if f.driving {
+		return fmt.Sprintf("sim: event callback panicked (while process %q drove the event loop): %v", f.proc, f.val)
+	}
 	return fmt.Sprintf("sim: process %q panicked: %v", f.proc, f.val)
 }
 
@@ -26,6 +33,20 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 
+	// driving is true while this process's goroutine is inside the
+	// kernel's drive loop (executing other components' events); it
+	// attributes an escaping event-callback panic to the callback
+	// rather than the process.
+	driving bool
+
+	// dead marks a process whose goroutine has finished (normally or by
+	// panic). Teardown must never rendezvous with a dead process: its
+	// goroutine no longer receives, so the handoff would hang. A live
+	// run never wakes a dead process (wake events are consumed by the
+	// block that scheduled them), but a process that fails while driving
+	// can leave stale wake state behind for teardown to encounter.
+	dead bool
+
 	// wreg is the reusable wait registration for plain (untimed) signal
 	// waits. A process blocks on at most one signal at a time, and a
 	// plain wait's registration leaves the signal's waiter list exactly
@@ -33,13 +54,6 @@ type Proc struct {
 	// suffices — Wait allocates nothing. Timed waits (WaitTimeout) use a
 	// fresh registration because their timer event can outlive the wait.
 	wreg waitReg
-}
-
-// resumeProcArg is the event callback that resumes a blocked process:
-// the argument carries the *Proc, so scheduling a wake allocates nothing.
-func resumeProcArg(a any) {
-	p := a.(*Proc)
-	p.k.resumeProc(p)
 }
 
 // Name returns the name the process was spawned with.
@@ -59,27 +73,68 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 	k.procs++
 	go func() {
 		<-p.resume
-		defer func() {
-			k.procs--
-			if r := recover(); r != nil {
-				if _, isStop := r.(stopSentinel); !isStop {
-					k.fail(procFailure{proc: name, val: r})
+		sentinel := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isStop := r.(stopSentinel); isStop {
+						sentinel = true
+					} else {
+						k.fail(procFailure{proc: name, val: r, driving: p.driving})
+					}
 				}
-			}
-			k.yield <- struct{}{}
+			}()
+			fn(p)
 		}()
-		fn(p)
+		k.procs--
+		p.dead = true
+		// A panic that unwound through a blocking primitive (possibly
+		// while this goroutine was driving another component's event)
+		// can leave the process still registered as parked; teardown
+		// must not try to resume it.
+		delete(k.parked, p)
+		if sentinel || k.stopped {
+			// Teardown: hand control back to the teardown rendezvous.
+			k.yield <- struct{}{}
+			return
+		}
+		// The process finished while holding the baton: keep driving the
+		// run from this goroutine, then exit once the baton is handed on
+		// (to the next process, or to the Run caller when the run is
+		// complete — a failure recorded above completes it immediately).
+		if k.drive(nil) == driveDone {
+			k.yield <- struct{}{}
+		}
 	}()
-	k.AtArg(k.now, resumeProcArg, p)
+	k.scheduleWake(k.now, p)
 	return p
 }
 
-// block returns control to the kernel and waits to be resumed. If the
-// kernel has stopped, it unwinds the goroutine.
+// block gives up control and waits to be resumed. The blocking process
+// drives the event loop itself until the baton moves on: to another
+// process (park until our own wake), to nobody because our own wake came
+// up next (driveSelf: just keep running), or back to the Run caller when
+// the run completes. If the kernel has stopped, control goes straight to
+// the teardown rendezvous and the resume unwinds the goroutine.
 func (p *Proc) block() {
-	p.k.yield <- struct{}{}
+	k := p.k
+	if k.stopped {
+		k.yield <- struct{}{}
+	} else {
+		p.driving = true
+		res := k.drive(p)
+		p.driving = false
+		switch res {
+		case driveSelf:
+			return
+		case driveHanded:
+			// Our wake event is still pending; park below.
+		case driveDone:
+			k.yield <- struct{}{}
+		}
+	}
 	<-p.resume
-	if p.k.stopped {
+	if k.stopped {
 		panic(stopSentinel{})
 	}
 }
@@ -91,7 +146,17 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.k.AfterArg(d, resumeProcArg, p)
+	// Hand-inlined scheduleWake: Sleep is the hottest schedule site in
+	// process-heavy simulations.
+	k := p.k
+	t := k.now.Add(d)
+	if t < k.now {
+		panic("sim: sleep overflows the clock")
+	}
+	k.seq++
+	if e := (event{at: t, seq: k.seq, arg: p}); !k.q.pushFast(e) {
+		k.q.pushSlow(e)
+	}
 	p.block()
 }
 
@@ -101,7 +166,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < p.k.now {
 		t = p.k.now
 	}
-	p.k.AtArg(t, resumeProcArg, p)
+	p.k.scheduleWake(t, p)
 	p.block()
 }
 

@@ -50,7 +50,7 @@ func (s *Signal) Pulse() {
 		}
 		r.fired = true
 		delete(s.k.parked, r.p)
-		s.k.AtArg(s.k.now, resumeProcArg, r.p)
+		s.k.scheduleWake(s.k.now, r.p)
 	}
 	for i := range regs {
 		regs[i] = nil // release registration references
@@ -91,7 +91,7 @@ func (p *Proc) WaitTimeout(s *Signal, d Duration) bool {
 		reg.fired = true
 		reg.timedOut = true
 		delete(k.parked, p)
-		k.resumeProc(p)
+		k.requestWake(p)
 	})
 	p.park()
 	if reg.timedOut {

@@ -167,6 +167,7 @@ func DriveRaw(spec FabricSpec, p *cost.Params, pat Pattern, size int) Result {
 	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
 	sends, messages, bytes, _, maxSize := genAll(pat, n, size)
 	res.Messages, res.PayloadBytes = messages, bytes
+	f.HintRoutes(spec.RouteHint(n, messages))
 	res.MeanHops = meanHops(f, sends, messages)
 
 	dr := &rawDrive{k: k, f: f, payload: make([]byte, maxSize), size: size, lat: &res.Latency}
@@ -231,8 +232,12 @@ func DriveFM(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, size
 	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
 	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
 	res.Messages, res.PayloadBytes = messages, bytes
+	c.Fab.HintRoutes(spec.RouteHint(n, messages))
 	res.MeanHops = meanHops(c.Fab, sends, messages)
 
+	// One pre-sized slab instead of one send buffer per rank: at scale
+	// (the 4096-node sweep) per-rank allocations are pure overhead.
+	slab := make([]byte, n*maxSize)
 	for id := 0; id < n; id++ {
 		id := id
 		c.Start(id, func(ep *core.Endpoint) {
@@ -243,7 +248,7 @@ func DriveFM(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, size
 					res.Latency.Record(ep.Now().Sub(at))
 				}
 			})
-			buf := make([]byte, maxSize)
+			buf := slab[id*maxSize : (id+1)*maxSize]
 			for _, s := range sends[id] {
 				if s.At > 0 {
 					waitUntil(ep, s.At)
@@ -287,8 +292,10 @@ func DriveMPI(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, siz
 	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
 	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
 	res.Messages, res.PayloadBytes = messages, bytes
+	c.Fab.HintRoutes(spec.RouteHint(n, messages))
 	res.MeanHops = meanHops(c.Fab, sends, messages)
 
+	slab := make([]byte, n*maxSize)
 	for id := 0; id < n; id++ {
 		id := id
 		c.Start(id, func(ep *core.Endpoint) {
@@ -297,7 +304,7 @@ func DriveMPI(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, siz
 			for i := range pending {
 				pending[i] = comm.Irecv(mpi.AnySource, mpi.AnyTag)
 			}
-			buf := make([]byte, maxSize)
+			buf := slab[id*maxSize : (id+1)*maxSize]
 			for _, s := range sends[id] {
 				if s.At > 0 {
 					waitUntil(ep, s.At)

@@ -73,6 +73,21 @@ func Specs(n int) []FabricSpec {
 	return []FabricSpec{CrossbarSpec(n), LineSpec(n), ClosSpec(n)}
 }
 
+// RouteHint estimates how many distinct route-cache entries a pattern
+// with the given message count can demand on this fabric. The cache is
+// keyed (source switch, destination node), so switches x nodes bounds
+// it from the geometry side, and a sparse pattern cannot demand more
+// entries than it has messages. Drivers pass the result to
+// myrinet.Fabric.HintRoutes so the demand-filled cache is sized once
+// instead of rehash-growing while the simulation runs.
+func (s FabricSpec) RouteHint(nodes, messages int) int {
+	hint := s.Switches * nodes
+	if messages < hint {
+		hint = messages
+	}
+	return hint
+}
+
 // String renders the spec for diagnostics.
 func (s FabricSpec) String() string {
 	return fmt.Sprintf("%s (%d switches)", s.Name, s.Switches)
