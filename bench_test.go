@@ -328,6 +328,26 @@ func BenchmarkWorkloadDrive(b *testing.B) {
 	b.ReportMetric(mbps, "sim-MB/s")
 }
 
+// BenchmarkShardedDrive runs the same 64-node Clos uniform-random drive
+// as BenchmarkWorkloadDrive split across 2 shard kernels: the sharded
+// engine's whole extra surface — replica fabrics, outbox/inbox exchange,
+// the barrier coordinator — on top of the single-kernel hot path.
+// Gated alongside it so a pooling regression in the cross-shard path
+// (per-shard packet pools, reused inbox buffers) shows up in allocs/op.
+// Baseline numbers live in BENCH_pr6.json.
+func BenchmarkShardedDrive(b *testing.B) {
+	b.ReportAllocs()
+	p := cost.Default()
+	pat := workload.UniformRandom{Seed: 1995, Packets: 16}
+	spec := workload.ClosSpec(64)
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		res := workload.DriveRawSharded(spec, p, pat, 112, 2)
+		mbps = res.MBps()
+	}
+	b.ReportMetric(mbps, "sim-MB/s")
+}
+
 // --- Ablation benches: the DESIGN.md design choices ---
 
 func BenchmarkAblationBurstPIO(b *testing.B) {

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -97,6 +98,73 @@ func loadBaselines(glob string) (map[string]entry, error) {
 // benchLine matches `BenchmarkName-8   100   12345 ns/op ... 17 allocs/op`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s.*?([\d.]+)\s+allocs/op`)
 
+// check scans `go test -bench` output against the baselines, writing
+// one verdict line per gated benchmark, and returns the process exit
+// code. Split from main so the gate's logic is testable end to end.
+func check(in io.Reader, out, errw io.Writer, base map[string]entry, threshold float64, allowMissing bool) int {
+	checked, failed := 0, 0
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		b, ok := base[name]
+		if !ok {
+			continue // benchmark without a committed baseline: informational only
+		}
+		seen[name] = true
+		got, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			// The benchmark appeared but its allocs/op is unreadable:
+			// fail loudly rather than letting it drop out of the gate.
+			failed++
+			fmt.Fprintf(out, "FAIL %s: unreadable allocs/op %q in the benchmark output\n", name, m[2])
+			continue
+		}
+		checked++
+		limit := b.allocs * threshold
+		if got > limit {
+			failed++
+			fmt.Fprintf(out, "FAIL %s: %.0f allocs/op exceeds %.0f (baseline %.0f in %s, threshold x%.2f)\n",
+				name, got, limit, b.allocs, b.file, threshold)
+		} else {
+			fmt.Fprintf(out, "ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, got, b.allocs, limit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(errw, "benchcheck: reading input: %v\n", err)
+		return 1
+	}
+	if checked == 0 && failed == 0 {
+		fmt.Fprintln(errw, "benchcheck: no benchmark with a committed baseline appeared in the input")
+		return 1
+	}
+	if !allowMissing {
+		// A baselined benchmark that never appeared means the gate
+		// quietly narrowed (renamed benchmark, trimmed -bench regex);
+		// fail so the baseline and the run are reconciled explicitly.
+		names := make([]string, 0, len(base))
+		for name := range base {
+			if !seen[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			failed++
+			fmt.Fprintf(out, "FAIL %s: baselined in %s but absent from the benchmark run\n", name, base[name].file)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	fmt.Fprintf(out, "benchcheck: %d benchmark(s) within the x%.2f allocation budget\n", checked, threshold)
+	return 0
+}
+
 func main() {
 	glob := flag.String("baselines", "BENCH_*.json", "glob of committed baseline files")
 	threshold := flag.Float64("threshold", 1.25, "fail when measured allocs/op exceed baseline by this factor")
@@ -119,61 +187,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(1)
 	}
-
-	checked, failed := 0, 0
-	seen := map[string]bool{}
-	sc := bufio.NewScanner(in)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		name := m[1]
-		b, ok := base[name]
-		if !ok {
-			continue // benchmark without a committed baseline: informational only
-		}
-		seen[name] = true
-		got, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
-		checked++
-		limit := b.allocs * *threshold
-		if got > limit {
-			failed++
-			fmt.Printf("FAIL %s: %.0f allocs/op exceeds %.0f (baseline %.0f in %s, threshold x%.2f)\n",
-				name, got, limit, b.allocs, b.file, *threshold)
-		} else {
-			fmt.Printf("ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, got, b.allocs, limit)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: reading input: %v\n", err)
-		os.Exit(1)
-	}
-	if checked == 0 {
-		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark with a committed baseline appeared in the input")
-		os.Exit(1)
-	}
-	if !*allowMissing {
-		// A baselined benchmark that never appeared means the gate
-		// quietly narrowed (renamed benchmark, trimmed -bench regex);
-		// fail so the baseline and the run are reconciled explicitly.
-		names := make([]string, 0, len(base))
-		for name := range base {
-			if !seen[name] {
-				names = append(names, name)
-			}
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			failed++
-			fmt.Printf("FAIL %s: baselined in %s but absent from the benchmark run\n", name, base[name].file)
-		}
-	}
-	if failed > 0 {
-		os.Exit(1)
-	}
-	fmt.Printf("benchcheck: %d benchmark(s) within the x%.2f allocation budget\n", checked, *threshold)
+	os.Exit(check(in, os.Stdout, os.Stderr, base, *threshold, *allowMissing))
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale]
-//	        [-paper-exact] [-packets N] [-rounds N] [-workers N]
+//	        [-paper-exact] [-packets N] [-rounds N] [-workers N] [-shards N]
 //	        [-fabric-nodes N] [-pattern-nodes N] [-scale-nodes LIST]
 //	        [-csv DIR] [-list] [-timing]
 //	        [-cpuprofile FILE] [-memprofile FILE]
@@ -18,6 +18,15 @@
 // the faster default. Independent measurements fan out over a worker
 // pool (-workers, default one per CPU); results are identical at any
 // worker count.
+//
+// -shards splits each individual simulation across N shard kernels
+// (conservative parallel DES, one leaf-group block per shard; DESIGN.md
+// "Parallel engine"). -shards 1, the default, is the single kernel and
+// its output is byte-identical to builds predating the sharded engine;
+// any fixed -shards value is deterministic at every -workers count.
+// Only the scale experiment's 2-level Clos fabrics partition, so
+// -shards > 1 is validated against every selected experiment before
+// anything runs, and the rejection names what the fabric supports.
 //
 // -timing appends one wall-clock line per experiment (off by default,
 // so default outputs stay byte-identical run to run); -scale-nodes
@@ -58,6 +67,7 @@ func run() int {
 	packets := flag.Int("packets", 0, "override packets per bandwidth point")
 	rounds := flag.Int("rounds", 0, "override ping-pong rounds per latency point")
 	workers := flag.Int("workers", 0, "override harness parallelism (default: one per CPU)")
+	shards := flag.Int("shards", 1, "shard kernels per simulation (scale experiment only; 1 = single kernel)")
 	fabricNodes := flag.Int("fabric-nodes", 0, "override node count for the fabrics experiment (default 64)")
 	patternNodes := flag.Int("pattern-nodes", 0, "override node count for the patterns experiment (default 32)")
 	scaleNodes := flag.String("scale-nodes", "", "override the scale sweep's node counts (comma-separated, e.g. 64,256,1024)")
@@ -140,6 +150,26 @@ func run() int {
 		}
 		add(e)
 	}
+
+	// Validate -shards the same way: against every selected experiment,
+	// before anything runs. The bound comes from the topology
+	// partitioner (one shard per leaf group of a two-level Clos), so the
+	// message can say exactly what the chosen fabrics support.
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "fmbench: -shards %d: shard count must be at least 1\n", *shards)
+		return 2
+	}
+	if *shards > 1 {
+		for _, e := range run {
+			if limit, detail := bench.ShardSupport(e.ID, opt); *shards > limit {
+				fmt.Fprintf(os.Stderr, "fmbench: -shards %d: experiment %q supports -shards 1..%d: %s\n",
+					*shards, e.ID, limit, detail)
+				return 2
+			}
+		}
+	}
+	opt.Shards = *shards
+	opt.ShardTiming = *timing
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -48,6 +48,18 @@ type Options struct {
 	PatternNodes int
 	// ScaleNodes is the Clos node-count sweep for the scale experiment.
 	ScaleNodes []int
+	// Shards splits each scale-experiment simulation across this many
+	// shard kernels (conservative parallel DES; DESIGN.md "Parallel
+	// engine"). 1, the default, is the single-kernel path and stays
+	// byte-identical to runs predating the sharded engine. Only the
+	// scale experiment's 2-level Clos sweeps partition; fmbench
+	// validates the value against every selected experiment (see
+	// ShardSupport) before anything runs.
+	Shards int
+	// ShardTiming appends a per-shard runtime breakdown (events run,
+	// busy wall time, barrier windows) to sharded reports. fmbench ties
+	// it to -timing, so default outputs stay byte-identical.
+	ShardTiming bool
 }
 
 // DefaultOptions returns a sweep that reproduces every curve shape in a
@@ -62,6 +74,7 @@ func DefaultOptions() Options {
 		FabricNodes:  64,
 		PatternNodes: 32,
 		ScaleNodes:   []int{64, 128, 256, 512, 1024, 2048, 4096},
+		Shards:       1,
 	}
 }
 

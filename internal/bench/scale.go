@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"fm/internal/core"
 	"fm/internal/cost"
@@ -19,8 +20,12 @@ import (
 // 1024-node points were impractical to run; the ladder-queue scheduler
 // and symmetric process handoff (DESIGN.md "Performance") then bought
 // the headroom for 2048 and 4096 — the 4096-node FM point pushes
-// ~16.8 million full-stack messages. Trim a run with -scale-nodes, and
-// use -timing to see where the wall-clock goes.
+// ~16.8 million full-stack messages. The sharded engine (-shards,
+// DESIGN.md "Parallel engine") splits each simulation across shard
+// kernels, one leaf group block per shard, putting points past 4096 in
+// reach on multi-core hosts. Trim a run with -scale-nodes, and use
+// -timing to see where the wall-clock goes (with -shards > 1 it adds a
+// per-shard breakdown).
 //
 // The experiment is in the extended registry, not `-experiment all`:
 // its FM points simulate tens of millions of full-stack messages and
@@ -54,24 +59,30 @@ func Scale(opt Options) *Report {
 		bw      float64
 		elapsed sim.Duration
 	}
+	shards := opt.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	a2a := make([]rawRes, len(nodes))
 	bis := make([]rawRes, len(nodes))
 	fm := make([]fmRes, len(nodes))
+	fmShards := make([][]sim.ShardStats, len(nodes))
 	var jobs []func()
 	for i, n := range nodes {
 		i, n := i, n
 		jobs = append(jobs,
 			func() {
-				res := workload.DriveRaw(scaleSpec(n), p, workload.AllToAll{Rounds: 1}, size)
+				res := workload.DriveRawSharded(scaleSpec(n), p, workload.AllToAll{Rounds: 1}, size, shards)
 				a2a[i] = rawRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed), hops: res.MeanHops}
 			},
 			func() {
-				res := workload.DriveRaw(scaleSpec(n), p, workload.Bisection{Packets: 32}, size)
+				res := workload.DriveRawSharded(scaleSpec(n), p, workload.Bisection{Packets: 32}, size, shards)
 				bis[i] = rawRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed)}
 			},
 			func() {
-				res := workload.DriveFM(scaleSpec(n), core.DefaultConfig(), p, workload.AllToAll{Rounds: 1}, size)
+				res := workload.DriveFMSharded(scaleSpec(n), core.DefaultConfig(), p, workload.AllToAll{Rounds: 1}, size, shards)
 				fm[i] = fmRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed), elapsed: res.Elapsed}
+				fmShards[i] = res.Shards
 			},
 		)
 	}
@@ -98,5 +109,21 @@ func Scale(opt Options) *Report {
 		"raw points: one all-to-all round and 32 bisection packets per node, no host stack",
 		"FM points: one all-to-all round (N*(N-1) messages) through the complete FM 1.0 layer on every node",
 	)
+	if shards > 1 {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"sharded run: every simulation split across %d shard kernels (one leaf-group block per shard, lookahead = switch latency); deterministic, but contention may resolve in a different order than one kernel (DESIGN.md)", shards))
+		if opt.ShardTiming {
+			for i, n := range nodes {
+				line := fmt.Sprintf("shard timing N=%d FM all-to-all:", n)
+				for s, st := range fmShards[i] {
+					line += fmt.Sprintf("  s%d %.2gMev/%dw/%s", s,
+						float64(st.Events)/1e6, st.Windows, st.Busy.Round(time.Millisecond))
+				}
+				r.Notes = append(r.Notes, line)
+			}
+			r.Notes = append(r.Notes,
+				"shard timing legend: events executed (millions) / barrier windows with work / wall-clock busy in the shard's kernel")
+		}
+	}
 	return r
 }

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+
+	"fm/internal/workload"
+)
+
+// ShardSupport reports the largest -shards value the experiment
+// tolerates at the given options, plus the reason for the bound.
+// fmbench validates -shards against this before anything runs, and the
+// detail string is what its rejection message prints.
+//
+// The bound follows the topology partitioner's rule — one shard per
+// leaf group of a strict two-level leaf/spine fabric — applied to every
+// fabric the experiment builds. The scale experiment runs only such
+// Clos fabrics, so it shards up to the leaf count of its smallest sweep
+// point; every other experiment includes a crossbar (one leaf group),
+// a line (leaf-to-leaf trunks), or the paper's two-node setups, none of
+// which partition.
+func ShardSupport(id string, opt Options) (int, string) {
+	switch id {
+	case "scale":
+		nodes := opt.ScaleNodes
+		if len(nodes) == 0 {
+			nodes = DefaultOptions().ScaleNodes
+		}
+		bound, minN := 0, 0
+		for _, n := range nodes {
+			_, groups := workload.Geometry(n)
+			if bound == 0 || groups < bound {
+				bound, minN = groups, n
+			}
+		}
+		return bound, fmt.Sprintf("2-level Clos sweep shards one leaf group per shard, and the smallest point (clos-%d) has %d leaf groups", minN, bound)
+	case "fabrics", "patterns", "mpi":
+		return 1, "compares crossbar and line fabrics; a crossbar is a single leaf group and a line links leaves directly, so neither partitions"
+	default:
+		return 1, "paper measurement on one crossbar switch — a single leaf group, so a single shard"
+	}
+}

@@ -127,3 +127,79 @@ func (c *Hardware) Run() error { return c.K.RunAll() }
 
 // RunFor executes the simulation up to the given virtual time horizon.
 func (c *Hardware) RunFor(d sim.Duration) error { return c.K.Run(sim.Time(d)) }
+
+// ShardedFM is an FM cluster co-simulated by a group of shard kernels:
+// one fabric replica per shard, every node's full stack (SBus, host,
+// LANai, endpoint, LCP) built on the kernel of the shard that owns the
+// node's leaf switch. Indexing is global — CPUs[id], EPs[id] and
+// friends work for every node id regardless of which shard simulates
+// it; only cross-shard packet hops pay barrier latency.
+type ShardedFM struct {
+	Group *sim.ShardGroup
+	Part  *myrinet.Partition
+	P     *cost.Params
+	Cfg   core.Config
+	Fabs  []*myrinet.Fabric // per shard
+	Buses []*sbus.Bus       // per node, on the owning shard's kernel
+	CPUs  []*host.CPU
+	Devs  []*lanai.Device
+	EPs   []*core.Endpoint
+	LCPs  []*lcp.LCP
+}
+
+// NewFMShardedFrom builds an FM cluster partitioned across `shards`
+// kernels around the fabric the build function constructs (one replica
+// per shard; the builders are deterministic, so replicas agree on
+// numbering). The lookahead window is the switch latency: every
+// cross-shard hop crosses a leaf/spine link, so a continuation is
+// always posted at least one SwitchLatency ahead. It returns an error
+// when the topology does not support the shard count.
+func NewFMShardedFrom(build func(*sim.Kernel, *cost.Params) *myrinet.Fabric, cfg core.Config, p *cost.Params, shards int) (*ShardedFM, error) {
+	g := sim.NewShardGroup(shards, p.SwitchLatency)
+	fabs := make([]*myrinet.Fabric, shards)
+	for s := range fabs {
+		fabs[s] = build(g.Shard(s).Kernel(), p)
+	}
+	part, err := fabs[0].Topology().Partition(shards)
+	if err != nil {
+		return nil, err
+	}
+	for s := range fabs {
+		s := s
+		fabs[s].SetShard(part, s, func(owner int, at sim.Time, pkt *myrinet.Packet) {
+			g.Shard(s).Post(owner, at, fabs[owner].ResumeCross, pkt)
+		})
+	}
+
+	n := fabs[0].Nodes()
+	c := &ShardedFM{
+		Group: g, Part: part, P: p, Cfg: cfg, Fabs: fabs,
+		Buses: make([]*sbus.Bus, n),
+		CPUs:  make([]*host.CPU, n),
+		Devs:  make([]*lanai.Device, n),
+		EPs:   make([]*core.Endpoint, n),
+		LCPs:  make([]*lcp.LCP, n),
+	}
+	qc := cfg.Queues(p)
+	for id := 0; id < n; id++ {
+		s := part.NodeShard[id]
+		k := g.Shard(s).Kernel()
+		bus := sbus.New(k, p, fmt.Sprintf("sbus%d", id))
+		cpu := host.New(k, p, bus, id)
+		dev := lanai.New(k, p, bus, fabs[s], id, qc)
+		c.Buses[id], c.CPUs[id], c.Devs[id] = bus, cpu, dev
+		c.EPs[id] = core.New(cpu, dev, cfg, p)
+		c.LCPs[id] = lcp.Start(dev, cfg.LCPOptions(p))
+	}
+	return c, nil
+}
+
+// Start launches app as node id's application process on the shard
+// that owns the node.
+func (c *ShardedFM) Start(id int, app func(ep *core.Endpoint)) {
+	ep := c.EPs[id]
+	c.CPUs[id].Start(func() { app(ep) })
+}
+
+// Run executes the sharded simulation to quiescence.
+func (c *ShardedFM) Run() error { return c.Group.Run() }

@@ -45,19 +45,31 @@ func (s *Switch) Ports() int { return len(s.ports) }
 // OutputUtilization returns the utilization of output port i.
 func (s *Switch) OutputUtilization(i int) float64 { return s.ports[i].Utilization() }
 
-// hop is one step of a precomputed source route: the switch to cross and
-// the output port to leave through.
+// hop is one step of a precomputed source route: the switch to cross
+// (by index in topology declaration order) and the output port to leave
+// through. Routes carry indices, not *Switch pointers, so a route
+// resolved on one shard's fabric replica is valid on every other
+// shard's (sharded runs build one Fabric per shard from the same
+// topology).
 type hop struct {
-	sw   *Switch
+	sw   int
 	port int
 }
 
-// Stats aggregates fabric-level traffic counters.
+// Stats aggregates fabric-level traffic counters. Packet counts are
+// attributed to the injecting (source-owning) shard; the Cross counters
+// measure shard-boundary traffic in a sharded run and stay zero in a
+// single-kernel one.
 type Stats struct {
 	Packets      uint64
 	PayloadBytes uint64
 	WireBytes    uint64
 	ByType       [5]uint64
+
+	// CrossPosted counts packet continuations this shard handed to
+	// another shard; CrossResumed counts continuations received.
+	CrossPosted  uint64
+	CrossResumed uint64
 }
 
 // Fabric is the assembled network: node ports, switches, links, and the
@@ -66,6 +78,7 @@ type Stats struct {
 type Fabric struct {
 	k        *sim.Kernel
 	p        *cost.Params
+	topo     *Topology
 	sinks    []Sink
 	uplinks  []*sim.Resource // node i -> first switch
 	router   *router
@@ -75,11 +88,22 @@ type Fabric struct {
 	// pool is the fabric-wide packet free list. One simulation is one
 	// goroutine, so no locking; recycled packets keep their payload/ack
 	// buffer capacity, making the steady-state packet path allocation-free.
+	// In a sharded run each shard's fabric replica has its own pool, and
+	// a packet that crossed shards recycles into the pool of the shard
+	// that delivered it.
 	pool []*Packet
 
 	// deliverFn is the shared delivery event callback (arg = *Packet),
 	// allocated once so Inject schedules deliveries without a closure.
 	deliverFn func(any)
+
+	// Sharded-run binding (nil/zero on a single-kernel fabric): this
+	// replica simulates the switches part assigns to shard, and hands
+	// packet continuations that reach another shard's switch to post,
+	// which schedules them on the owning shard's replica.
+	part  *Partition
+	shard int
+	post  func(owner int, at sim.Time, pkt *Packet)
 }
 
 // NewPacket returns a packet for injection into this fabric, recycled
@@ -121,14 +145,14 @@ func NewFabric(k *sim.Kernel, p *cost.Params, t *Topology) *Fabric {
 	if len(t.nodes) == 0 {
 		panic("myrinet: topology has no nodes")
 	}
-	f := &Fabric{k: k, p: p, sinks: make([]Sink, len(t.nodes))}
+	f := &Fabric{k: k, p: p, topo: t, sinks: make([]Sink, len(t.nodes))}
 	for _, spec := range t.switches {
 		f.switches = append(f.switches, newSwitch(k, spec.name, spec.ports))
 	}
 	for i := range t.nodes {
 		f.uplinks = append(f.uplinks, sim.NewResource(k, fmt.Sprintf("node%d.up", i)))
 	}
-	f.router = t.newRouter(f.switches)
+	f.router = t.newRouter()
 	f.deliverFn = func(a any) {
 		pkt := a.(*Packet)
 		if !pkt.Verify() {
@@ -188,6 +212,9 @@ func NewLine(k *sim.Kernel, p *cost.Params, nSwitches, nodesPerSwitch, ports int
 // Nodes returns the number of node ports.
 func (f *Fabric) Nodes() int { return len(f.sinks) }
 
+// Kernel returns the kernel this fabric schedules on.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
 // Hops returns the number of switch crossings between src and dst.
 func (f *Fabric) Hops(src, dst int) int {
 	if src == dst {
@@ -211,10 +238,16 @@ func (f *Fabric) Route(src, dst int) []*Switch {
 	route := f.router.route(src, dst)
 	out := make([]*Switch, len(route))
 	for i, h := range route {
-		out[i] = h.sw
+		out[i] = f.switches[h.sw]
 	}
 	return out
 }
+
+// Topology returns the fabric's topology description. Sharded runs use
+// it to compute the partition once and apply it to every replica (the
+// builders are deterministic, so replicas of one spec share switch and
+// node numbering).
+func (f *Fabric) Topology() *Topology { return f.topo }
 
 // Attach registers the sink that receives packets addressed to node id.
 func (f *Fabric) Attach(id int, s Sink) { f.sinks[id] = s }
@@ -246,7 +279,7 @@ func (f *Fabric) Inject(p *Packet) sim.Time {
 		panic(fmt.Sprintf("myrinet: inject of released packet %v", p))
 	}
 	route := f.router.route(p.Src, p.Dst)
-	if f.sinks[p.Dst] == nil {
+	if f.sinks[p.Dst] == nil && (f.part == nil || f.part.NodeShard[p.Dst] == f.shard) {
 		panic(fmt.Sprintf("myrinet: node %d has no sink attached", p.Dst))
 	}
 	p.Seal()
@@ -255,28 +288,77 @@ func (f *Fabric) Inject(p *Packet) sim.Time {
 	}
 	wire := sim.Duration(p.WireBytes()) * f.p.LinkByte
 
-	// Source uplink.
-	head, srcDone := f.uplinks[p.Src].Reserve(wire)
-
-	// Switch hops: the head is eligible at the output port SwitchLatency
-	// after it entered the crossbar; FIFO contention may delay it.
-	for _, h := range route {
-		head, _ = h.sw.ports[h.port].ReserveAt(head.Add(f.p.SwitchLatency), wire)
-	}
-	tail := head.Add(wire)
-
 	f.stats.Packets++
 	f.stats.PayloadBytes += uint64(len(p.Payload))
 	f.stats.WireBytes += uint64(p.WireBytes())
 	if int(p.Type) < len(f.stats.ByType) {
 		f.stats.ByType[p.Type]++
 	}
+
+	// Source uplink, then the switch hops.
+	head, srcDone := f.uplinks[p.Src].Reserve(wire)
+	f.forward(p, route, 0, head.Add(f.p.SwitchLatency), wire)
+	return srcDone
+}
+
+// forward advances the packet head across route[i:], the head becoming
+// eligible at hop i's output port at `eligible` (one SwitchLatency
+// after it entered that crossbar); FIFO contention at any output may
+// delay it further. On a sharded fabric, a hop whose switch belongs to
+// another shard ends the local walk: the continuation is posted to the
+// owning shard's replica at the eligible instant, which is at least one
+// SwitchLatency — the lookahead window — in the future. The final local
+// hop schedules tail delivery.
+func (f *Fabric) forward(p *Packet, route []hop, i int, eligible sim.Time, wire sim.Duration) {
+	var head sim.Time
+	for {
+		h := route[i]
+		if f.part != nil && f.part.SwitchShard[h.sw] != f.shard {
+			p.xhop = i
+			f.stats.CrossPosted++
+			f.post(f.part.SwitchShard[h.sw], eligible, p)
+			return
+		}
+		head, _ = f.switches[h.sw].ports[h.port].ReserveAt(eligible, wire)
+		i++
+		if i == len(route) {
+			break
+		}
+		eligible = head.Add(f.p.SwitchLatency)
+	}
+	tail := head.Add(wire)
 	if f.k.Tracing() {
 		f.k.Tracef("net", "inject %v tail@%v", p, tail)
 	}
-
 	f.k.AtArg(tail, f.deliverFn, p)
-	return srcDone
+}
+
+// ResumeCross continues a packet whose head reached a shard boundary:
+// the owning shard re-resolves the route (its router is a replica, so
+// the route is identical) and walks on from the recorded hop. The
+// signature matches the kernel's argument-event form so the shard
+// exchange can schedule it directly.
+func (f *Fabric) ResumeCross(a any) {
+	p := a.(*Packet)
+	f.stats.CrossResumed++
+	route := f.router.route(p.Src, p.Dst)
+	wire := sim.Duration(p.WireBytes()) * f.p.LinkByte
+	f.forward(p, route, p.xhop, f.k.Now(), wire)
+}
+
+// SetShard binds this fabric replica to one shard of a partitioned
+// topology: it simulates only the switches part assigns to shard, and
+// hands continuations that reach another shard's switch to post. Every
+// replica of the topology must be bound before traffic flows, and
+// injections must happen on the shard owning the packet's source node.
+func (f *Fabric) SetShard(part *Partition, shard int, post func(owner int, at sim.Time, pkt *Packet)) {
+	if part.Shards <= shard || shard < 0 {
+		panic(fmt.Sprintf("myrinet: shard %d out of range for %d-shard partition", shard, part.Shards))
+	}
+	if len(part.NodeShard) != len(f.sinks) || len(part.SwitchShard) != len(f.switches) {
+		panic("myrinet: partition does not match this fabric's topology")
+	}
+	f.part, f.shard, f.post = part, shard, post
 }
 
 // MinLatency returns the no-contention tail-delivery latency from src to

@@ -90,6 +90,11 @@ type Packet struct {
 	// (a payload mutated while "on the wire" means a missing copy).
 	crc uint64
 
+	// xhop is sharded-run transit state: the route index at which the
+	// packet's head crossed a shard boundary, read by the owning shard
+	// to continue the walk (Fabric.ResumeCross).
+	xhop int
+
 	// pooled marks a packet currently parked in its fabric's free list;
 	// it catches double-release and use-after-release ownership bugs.
 	pooled bool

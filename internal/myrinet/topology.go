@@ -126,26 +126,24 @@ func (t *Topology) name(sw int) string {
 // port, so the choice is stable across runs and identical to the eager
 // table the seed computed.
 type router struct {
-	t        *Topology
-	switches []*Switch
-	fwd      [][]link // forward adjacency, port-ordered
-	rev      [][]int  // reverse adjacency for the backward BFS
-	distTo   map[int][]int
-	cache    map[[2]int][]hop // (src switch, dst node) -> route
-	scratch  []link           // candidate buffer reused across lookups
+	t       *Topology
+	fwd     [][]link // forward adjacency, port-ordered
+	rev     [][]int  // reverse adjacency for the backward BFS
+	distTo  map[int][]int
+	cache   map[[2]int][]hop // (src switch, dst node) -> route
+	scratch []link           // candidate buffer reused across lookups
 }
 
 // newRouter builds the adjacency structures and verifies every ordered
 // node pair is routable (construction-time check, so an unroutable
 // topology fails fast even though routes are resolved lazily).
-func (t *Topology) newRouter(switches []*Switch) *router {
+func (t *Topology) newRouter() *router {
 	r := &router{
-		t:        t,
-		switches: switches,
-		fwd:      make([][]link, len(t.switches)),
-		rev:      make([][]int, len(t.switches)),
-		distTo:   map[int][]int{},
-		cache:    map[[2]int][]hop{},
+		t:      t,
+		fwd:    make([][]link, len(t.switches)),
+		rev:    make([][]int, len(t.switches)),
+		distTo: map[int][]int{},
+		cache:  map[[2]int][]hop{},
 	}
 	for _, l := range t.links {
 		r.fwd[l.from] = append(r.fwd[l.from], l)
@@ -267,10 +265,10 @@ func (r *router) route(src, dst int) []hop {
 		}
 		pick := cands[dst%len(cands)]
 		r.scratch = cands[:0]
-		route = append(route, hop{sw: r.switches[pick.from], port: pick.port})
+		route = append(route, hop{sw: pick.from, port: pick.port})
 		cur = pick.to
 	}
-	route = append(route, hop{sw: r.switches[da.sw], port: da.port})
+	route = append(route, hop{sw: da.sw, port: da.port})
 	r.cache[key] = route
 	return route
 }

@@ -213,18 +213,47 @@ func (k *Kernel) requestWake(p *Proc) {
 // MaxTime for an unbounded run. It returns the first process failure, if
 // any process panicked.
 func (k *Kernel) Run(horizon Time) error {
-	k.horizon = horizon
-	if k.drive(nil) == driveHanded {
-		// The baton is out with the processes; park until whichever
-		// goroutine completes the run hands it back.
-		<-k.yield
-	}
+	k.Step(horizon)
 	k.stopParked()
 	return k.failure
 }
 
 // RunAll is Run with an unbounded horizon.
 func (k *Kernel) RunAll() error { return k.Run(MaxTime) }
+
+// Step executes events up to and including horizon, leaving every
+// process and pending event intact so the run can be continued with a
+// later horizon. It is the windowed form of Run that the shard runtime
+// drives barrier-to-barrier; a completed sequence of Steps must end
+// with Finish to unwind parked processes. It returns the first process
+// failure, if any.
+func (k *Kernel) Step(horizon Time) error {
+	k.horizon = horizon
+	if k.drive(nil) == driveHanded {
+		// The baton is out with the processes; park until whichever
+		// goroutine completes the window hands it back.
+		<-k.yield
+	}
+	return k.failure
+}
+
+// Finish ends a Step sequence: it unwinds any processes still parked on
+// signals or timed sleeps, exactly as Run does after its horizon, and
+// returns the first recorded failure.
+func (k *Kernel) Finish() error {
+	k.stopParked()
+	return k.failure
+}
+
+// NextEventAt returns the time of the earliest pending event, with ok
+// false when the queue is empty. The shard runtime uses it to pick each
+// window's base time.
+func (k *Kernel) NextEventAt() (Time, bool) {
+	if k.q.Len() == 0 {
+		return 0, false
+	}
+	return k.q.PeekAt(), true
+}
 
 // stopParked wakes every process blocked on a signal with the stop
 // sentinel so its goroutine can exit. Timed sleepers are abandoned (their

@@ -41,6 +41,10 @@ type Result struct {
 	// shorter than the 8-byte timestamp cannot carry one and are not
 	// recorded — Latency.Count() < Messages signals such a run.
 	Latency stats.Histogram
+	// Shards holds per-shard runtime counters (events run, cross-shard
+	// posts, barrier windows, busy wall time) when the drive was split
+	// across shard kernels; nil for single-kernel runs.
+	Shards []sim.ShardStats
 }
 
 // MBps returns the delivered payload bandwidth in MB/s (MiB).

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+// TestDriveRawShardedDelegatesAtOne pins the `-shards 1` contract at
+// the driver level: shards=1 must be the single-kernel path itself,
+// not a one-shard group that happens to agree.
+func TestDriveRawShardedDelegatesAtOne(t *testing.T) {
+	p := cost.Default()
+	pat := UniformRandom{Seed: 7, Packets: 8}
+	a := DriveRaw(ClosSpec(32), p, pat, 112)
+	b := DriveRawSharded(ClosSpec(32), p, pat, 112, 1)
+	if a.Elapsed != b.Elapsed || a.Messages != b.Messages || a.Latency.Count() != b.Latency.Count() ||
+		a.Latency.Mean() != b.Latency.Mean() || a.MeanHops != b.MeanHops {
+		t.Fatalf("shards=1 diverged from DriveRaw:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+// TestDriveRawShardedDeterministic runs the same contended sharded
+// drive twice and requires identical results — the fixed-shard-count
+// determinism invariant.
+func TestDriveRawShardedDeterministic(t *testing.T) {
+	p := cost.Default()
+	pat := AllToAll{Rounds: 1}
+	a := DriveRawSharded(ClosSpec(64), p, pat, 112, 4)
+	b := DriveRawSharded(ClosSpec(64), p, pat, 112, 4)
+	if a.Elapsed != b.Elapsed || a.Latency.Mean() != b.Latency.Mean() || a.Latency.Max() != b.Latency.Max() {
+		t.Fatalf("repeated sharded runs diverged: %v/%v vs %v/%v",
+			a.Elapsed, a.Latency.Mean(), b.Elapsed, b.Latency.Mean())
+	}
+}
+
+// TestShardedRawRegression pins the `-shards 2` outcome for the
+// fabrics-style Clos-64 all-to-all point, so any change to the barrier,
+// merge order, or partition assignment shows up as a diff here instead
+// of silently shifting published numbers.
+func TestShardedRawRegression(t *testing.T) {
+	p := cost.Default()
+	res := DriveRawSharded(ClosSpec(64), p, AllToAll{Rounds: 1}, 112, 2)
+	if res.Messages != 64*63 {
+		t.Fatalf("messages = %d, want %d", res.Messages, 64*63)
+	}
+	if res.Latency.Count() != uint64(res.Messages) {
+		t.Fatalf("latency samples = %d, want %d", res.Latency.Count(), res.Messages)
+	}
+	// The pinned completion time of this exact configuration (102.95us).
+	const wantElapsed = 102950000 * sim.Picosecond
+	if res.Elapsed != wantElapsed {
+		t.Fatalf("elapsed = %d ps (%v), pinned %d ps (%v)", res.Elapsed, res.Elapsed, wantElapsed, wantElapsed)
+	}
+}
+
+// TestShardedFMSmall runs the full FM stack across 2 shards on a small
+// Clos and checks completion, delivery accounting, and determinism.
+func TestShardedFMSmall(t *testing.T) {
+	p := cost.Default()
+	cfg := core.DefaultConfig()
+	a := DriveFMSharded(ClosSpec(16), cfg, p, AllToAll{Rounds: 1}, 112, 2)
+	if a.Messages != 16*15 {
+		t.Fatalf("messages = %d, want %d", a.Messages, 16*15)
+	}
+	if a.Latency.Count() != uint64(a.Messages) {
+		t.Fatalf("latency samples = %d, want %d", a.Latency.Count(), a.Messages)
+	}
+	b := DriveFMSharded(ClosSpec(16), cfg, p, AllToAll{Rounds: 1}, 112, 2)
+	if a.Elapsed != b.Elapsed || a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatalf("repeated sharded FM runs diverged: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	t.Logf("sharded FM clos-16: elapsed=%v meanLat=%v", a.Elapsed, a.Latency.Mean())
+}
