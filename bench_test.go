@@ -348,6 +348,23 @@ func BenchmarkShardedDrive(b *testing.B) {
 	b.ReportMetric(mbps, "sim-MB/s")
 }
 
+// BenchmarkFaultDrive pushes the all-to-all through the full FM stack
+// on a 32-node Clos with the default seeded fault plan installed: the
+// per-hop fault timeline checks, bounce generation, stranded-frame
+// release, and the endpoints' retransmit path — everything the faults
+// experiment adds over a clean drive. The driver panics on any
+// undelivered message, so this is also a delivery smoke. Baseline
+// numbers live in BENCH_pr7.json.
+func BenchmarkFaultDrive(b *testing.B) {
+	b.ReportAllocs()
+	var retx float64
+	for i := 0; i < b.N; i++ {
+		res := bench.FaultDrive()
+		retx = float64(res.Stats.Retransmits)
+	}
+	b.ReportMetric(retx, "sim-retransmits")
+}
+
 // --- Ablation benches: the DESIGN.md design choices ---
 
 func BenchmarkAblationBurstPIO(b *testing.B) {

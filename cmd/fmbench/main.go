@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale]
+//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale|faults]
 //	        [-paper-exact] [-packets N] [-rounds N] [-workers N] [-shards N]
 //	        [-fabric-nodes N] [-pattern-nodes N] [-scale-nodes LIST]
+//	        [-fault-seed N] [-fault-plan PLAN] [-fault-nodes N]
 //	        [-csv DIR] [-list] [-timing]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -24,9 +25,21 @@
 // "Parallel engine"). -shards 1, the default, is the single kernel and
 // its output is byte-identical to builds predating the sharded engine;
 // any fixed -shards value is deterministic at every -workers count.
-// Only the scale experiment's 2-level Clos fabrics partition, so
-// -shards > 1 is validated against every selected experiment before
-// anything runs, and the rejection names what the fabric supports.
+// Only the scale and faults experiments' 2-level Clos fabrics
+// partition, so -shards > 1 is validated against every selected
+// experiment before anything runs, and the rejection names what the
+// fabric supports.
+//
+// The faults experiment (extended; run by id) injects component
+// outages and loss/corruption bursts mid-traffic and reports what the
+// FM reliability layer does about them. -fault-seed derives the whole
+// plan deterministically (0 = inject nothing); -fault-plan gives an
+// explicit plan instead, as "kind index startUs endUs" events joined
+// by semicolons with kind one of link, switch, node, loss, corrupt
+// (e.g. "switch 9 100 200; loss 35 74 147"); -fault-nodes sizes its
+// Clos fabric (default 32). A bad plan is rejected, with the reason,
+// before anything runs. The report is byte-identical at any -workers
+// and -shards setting (DESIGN.md "Fault model").
 //
 // -timing appends one wall-clock line per experiment (off by default,
 // so default outputs stay byte-identical run to run); -scale-nodes
@@ -71,6 +84,9 @@ func run() int {
 	fabricNodes := flag.Int("fabric-nodes", 0, "override node count for the fabrics experiment (default 64)")
 	patternNodes := flag.Int("pattern-nodes", 0, "override node count for the patterns experiment (default 32)")
 	scaleNodes := flag.String("scale-nodes", "", "override the scale sweep's node counts (comma-separated, e.g. 64,256,1024)")
+	faultSeed := flag.Uint64("fault-seed", 1995, "the faults experiment's plan seed (0 = empty plan, inject nothing)")
+	faultPlan := flag.String("fault-plan", "", "explicit fault plan for the faults experiment (\"kind index startUs endUs; ...\"), overrides -fault-seed")
+	faultNodes := flag.Int("fault-nodes", 0, "override node count for the faults experiment (default 32)")
 	csvDir := flag.String("csv", "", "also write CSV series into this directory")
 	list := flag.Bool("list", false, "list every experiment id with its description and exit")
 	timing := flag.Bool("timing", false, "print wall-clock time per experiment (off by default: outputs stay byte-identical)")
@@ -119,6 +135,18 @@ func run() int {
 			nodes = append(nodes, n)
 		}
 		opt.ScaleNodes = nodes
+	}
+	opt.FaultSeed = *faultSeed
+	opt.FaultPlan = *faultPlan
+	if *faultNodes > 0 {
+		opt.FaultNodes = *faultNodes
+	}
+	// Validate the fault plan (text shape, component indices, window
+	// sanity against the chosen fabric) before anything runs, like every
+	// other flag: a typo must not cost a partial run.
+	if err := bench.ValidateFaults(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+		return 2
 	}
 
 	// Validate every requested id before running anything: a typo in a

@@ -6,6 +6,7 @@ import (
 	"fm/internal/metrics"
 	"fm/internal/myriapi"
 	"fm/internal/sim"
+	"fm/internal/workload"
 )
 
 // Single-point measurement helpers for the repository-level testing.B
@@ -69,6 +70,20 @@ func MPIStream(p *cost.Params, size, packets int) metrics.BWPoint {
 // layer on the full FM stack.
 func MPIPingPong(p *cost.Params, size, rounds int) metrics.LatPoint {
 	return mpiLatPoint(mpiCrossbar(p, 0), size, rounds)
+}
+
+// FaultDrive runs the faults experiment's all-to-all point once: a
+// 32-node Clos under the default seeded fault plan, through the full FM
+// stack with the fault timeline installed on every hop. Panics if any
+// message goes undelivered — the benchmark doubles as a delivery smoke.
+func FaultDrive() workload.FaultResult {
+	opt := DefaultOptions()
+	_, ws, n, err := faultTimeline(opt)
+	if err != nil {
+		panic(err)
+	}
+	return workload.DriveFMFaults(workload.ClosSpec(n), core.DefaultConfig(), cost.Default(),
+		workload.AllToAll{Rounds: 1}, 112, ws)
 }
 
 // Exported layer-stack configurations (the Table 4 rows), for benchmarks

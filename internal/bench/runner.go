@@ -60,6 +60,17 @@ type Options struct {
 	// busy wall time, barrier windows) to sharded reports. fmbench ties
 	// it to -timing, so default outputs stay byte-identical.
 	ShardTiming bool
+	// FaultNodes sizes the faults experiment's Clos fabric (default 32).
+	FaultNodes int
+	// FaultSeed derives the faults experiment's random fault plan; the
+	// whole plan is a pure function of the seed and the fabric shape, so
+	// a seed replays byte-identically at any Workers/Shards setting.
+	// Seed 0 means the empty plan (clean baseline, nothing injected).
+	FaultSeed uint64
+	// FaultPlan, when non-empty, is a hand-written plan in the
+	// workload.ParseFaultPlan text format ("kind index startUs endUs"
+	// events joined by semicolons) and overrides FaultSeed.
+	FaultPlan string
 }
 
 // DefaultOptions returns a sweep that reproduces every curve shape in a
@@ -75,6 +86,8 @@ func DefaultOptions() Options {
 		PatternNodes: 32,
 		ScaleNodes:   []int{64, 128, 256, 512, 1024, 2048, 4096},
 		Shards:       1,
+		FaultNodes:   32,
+		FaultSeed:    1995,
 	}
 }
 
@@ -165,6 +178,7 @@ func All() []Experiment {
 func Extended() []Experiment {
 	return []Experiment{
 		{"scale", "Clos scaling sweep: 64 to 4096 nodes, raw fabric and full FM stack (~30 min; trim with -scale-nodes)", Scale},
+		{"faults", "Resilience: seeded fault injection (outages, loss, corruption) on a Clos — degraded bisection BW, retransmits, recovery (-fault-seed/-fault-plan/-fault-nodes)", Faults},
 	}
 }
 

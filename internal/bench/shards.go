@@ -33,6 +33,13 @@ func ShardSupport(id string, opt Options) (int, string) {
 			}
 		}
 		return bound, fmt.Sprintf("2-level Clos sweep shards one leaf group per shard, and the smallest point (clos-%d) has %d leaf groups", minN, bound)
+	case "faults":
+		n := opt.FaultNodes
+		if n == 0 {
+			n = DefaultOptions().FaultNodes
+		}
+		_, groups := workload.Geometry(n)
+		return groups, fmt.Sprintf("the faults experiment runs one 2-level Clos, and clos-%d has %d leaf groups", n, groups)
 	case "fabrics", "patterns", "mpi":
 		return 1, "compares crossbar and line fabrics; a crossbar is a single leaf group and a line links leaves directly, so neither partitions"
 	default:

@@ -24,6 +24,17 @@ func TestShardSupport(t *testing.T) {
 		t.Fatalf("ShardSupport(scale, 16..1024) = %d %q, want %d naming clos-16", n, detail, g16)
 	}
 
+	// faults: one Clos at FaultNodes, one shard per leaf group.
+	opt = DefaultOptions()
+	_, g32 := workload.Geometry(32)
+	if n, detail := ShardSupport("faults", opt); n != g32 || !strings.Contains(detail, "clos-32") {
+		t.Fatalf("ShardSupport(faults) = %d %q, want %d naming clos-32", n, detail, g32)
+	}
+	opt.FaultNodes = 64
+	if n, _ := ShardSupport("faults", opt); n != g64 {
+		t.Fatalf("ShardSupport(faults, 64 nodes) = %d, want %d", n, g64)
+	}
+
 	// Everything else is single-kernel only, with a reason to print.
 	for _, id := range []string{"fig3", "fig8", "table4", "headline", "ablations", "fabrics", "patterns", "mpi"} {
 		if n, detail := ShardSupport(id, opt); n != 1 || detail == "" {

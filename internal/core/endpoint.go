@@ -31,6 +31,7 @@ type Stats struct {
 	SeqsAcked       uint64 // sequence numbers this side has acknowledged
 	RejectsSent     uint64 // data packets this receiver bounced
 	RejectsReceived uint64 // bounced packets returned to this sender
+	NetBounces      uint64 // frames the fabric itself bounced back (faults)
 	Retransmits     uint64 // reject-queue resends
 	Duplicates      uint64 // duplicate deliveries screened (should be 0)
 	SendBlocks      uint64 // sends that had to wait for window space
@@ -91,7 +92,11 @@ func New(cpu *host.CPU, dev *lanai.Device, cfg Config, p *cost.Params) *Endpoint
 		handlers:    make([]Handler, cfg.MaxHandlers),
 		outstanding: make(map[uint64]int),
 		outPerDst:   make(map[int]int),
-		rejectQ:     ring.New[rejectedEntry](fmt.Sprintf("host%d.reject", dev.ID), cfg.WindowSlots),
+		// Twice the window: receiver rejects are covered by the window
+		// reservation (Section 4.5), but fabric fault bounces can also
+		// return Acks, which hold no window slot. Ring capacity is
+		// timing-neutral, so faultless runs are unchanged.
+		rejectQ:     ring.New[rejectedEntry](fmt.Sprintf("host%d.reject", dev.ID), cfg.WindowSlots*2),
 		pendingAcks: make(map[int][]uint64),
 		seen:        make(map[int]map[uint64]bool),
 	}

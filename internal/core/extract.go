@@ -79,6 +79,13 @@ func (ep *Endpoint) popRecv() *myrinet.Packet {
 // recycled to the fabric pool (ack, delivered data) or re-armed in place
 // for retransmission (reject).
 func (ep *Endpoint) process(pkt *myrinet.Packet) bool {
+	if pkt.Bounced {
+		// A fault bounce is our own outbound frame coming home, so any
+		// acknowledgements riding on it are aimed at the peer's sequence
+		// namespace, not ours: skip processAcks and keep them attached
+		// for the retry.
+		return ep.requeueBounced(pkt)
+	}
 	// Piggybacked acknowledgements ride on any packet type.
 	if len(pkt.Acks) > 0 {
 		ep.processAcks(pkt.Acks)
@@ -112,6 +119,30 @@ func (ep *Endpoint) process(pkt *myrinet.Packet) bool {
 	default:
 		panic(fmt.Sprintf("fm: unexpected packet type %v on node %d", pkt.Type, ep.NodeID()))
 	}
+}
+
+// requeueBounced parks a fabric-bounced frame for retransmission: the
+// fabric turned one of our outbound frames around at a failed component
+// and the frame still carries its original payload and any piggybacked
+// acks. Data becomes a Retransmit; a bounced Ack resends as an Ack (its
+// ranges were never seen by the peer, so resending loses nothing and
+// duplicated ack processing is idempotent).
+func (ep *Endpoint) requeueBounced(pkt *myrinet.Packet) bool {
+	ep.cpu.Advance(ep.p.HostFlowControlRecv)
+	ep.stats.NetBounces++
+	pkt.Src, pkt.Dst = ep.NodeID(), pkt.Src
+	switch pkt.OrigType {
+	case myrinet.Data, myrinet.Retransmit:
+		pkt.Type = myrinet.Retransmit
+	default:
+		pkt.Type = pkt.OrigType
+	}
+	pkt.Bounced = false
+	pkt.OrigType = 0
+	pkt.Retries++
+	ep.rejectQ.Push(rejectedEntry{pkt: pkt, retryAt: ep.Now().Add(ep.cfg.RetryDelay)})
+	ep.dev.HostRecvAvail.PulseAfter(ep.cfg.RetryDelay + sim.Microsecond)
+	return false
 }
 
 // deliver records flow-control state, runs the handler, and recycles the
@@ -213,12 +244,17 @@ func (ep *Endpoint) shedOverload() {
 func (ep *Endpoint) retryRejected() {
 	for !ep.rejectQ.Empty() && ep.rejectQ.Peek().retryAt <= ep.Now() {
 		entry := ep.rejectQ.Pop()
-		if ep.cfg.PiggybackAcks {
+		// A bounced frame keeps its original acks attached through the
+		// requeue; only attach fresh ones when the slot is empty (on the
+		// healthy path it always is — attachAcks truncates on send).
+		if ep.cfg.PiggybackAcks && len(entry.pkt.Acks) == 0 {
 			ep.attachAcks(entry.pkt)
 		}
 		ep.pushFrame(entry.pkt)
 		ep.stats.Retransmits++
-		ep.stats.Sent++
+		if entry.pkt.Type != myrinet.Ack {
+			ep.stats.Sent++
+		}
 	}
 }
 

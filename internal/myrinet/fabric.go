@@ -97,6 +97,13 @@ type Fabric struct {
 	// allocated once so Inject schedules deliveries without a closure.
 	deliverFn func(any)
 
+	// faults is the installed fault timeline, nil on a healthy fabric —
+	// every fault check in the packet path is guarded by that nil, so a
+	// faultless run pays nothing. faultToggleFn is the shared toggle
+	// event callback (arg = toggleArg), allocated once like deliverFn.
+	faults        *faultState
+	faultToggleFn func(any)
+
 	// Sharded-run binding (nil/zero on a single-kernel fabric): this
 	// replica simulates the switches part assigns to shard, and hands
 	// packet continuations that reach another shard's switch to post,
@@ -155,11 +162,19 @@ func NewFabric(k *sim.Kernel, p *cost.Params, t *Topology) *Fabric {
 	f.router = t.newRouter()
 	f.deliverFn = func(a any) {
 		pkt := a.(*Packet)
+		if fs := f.faults; fs != nil && (pkt.Corrupt || fs.nodeDownAt(pkt.Dst, f.k.Now())) {
+			// The receiving interface detects the corruption (link-level
+			// CRC) or is down: turn the frame around at the delivery
+			// switch instead of delivering it.
+			f.faultTurn(pkt, f.topo.nodes[pkt.Dst].sw, f.k.Now())
+			return
+		}
 		if !pkt.Verify() {
 			panic(fmt.Sprintf("myrinet: frame %v corrupted in flight (payload aliased?)", pkt))
 		}
 		f.sinks[pkt.Dst].Arrive(pkt)
 	}
+	f.faultToggleFn = f.faultToggle
 	return f
 }
 
@@ -278,7 +293,12 @@ func (f *Fabric) Inject(p *Packet) sim.Time {
 	if p.pooled {
 		panic(fmt.Sprintf("myrinet: inject of released packet %v", p))
 	}
-	route := f.router.route(p.Src, p.Dst)
+	var route []hop
+	if f.faults != nil {
+		route = f.router.routeFrom(f.topo.nodes[p.Src].sw, p.Dst)
+	} else {
+		route = f.router.route(p.Src, p.Dst)
+	}
 	if f.sinks[p.Dst] == nil && (f.part == nil || f.part.NodeShard[p.Dst] == f.shard) {
 		panic(fmt.Sprintf("myrinet: node %d has no sink attached", p.Dst))
 	}
@@ -297,6 +317,17 @@ func (f *Fabric) Inject(p *Packet) sim.Time {
 
 	// Source uplink, then the switch hops.
 	head, srcDone := f.uplinks[p.Src].Reserve(wire)
+	if f.faults != nil && (route == nil || f.faults.nodeDownAt(p.Src, f.k.Now())) {
+		// No healthy path exists right now (or the source interface is
+		// itself inside a churn window): the interface turns the frame
+		// straight around, as if the fabric bounced it at the first hop.
+		// Charging a round trip through the delivery switch keeps the
+		// immediate-reject timing in the same regime as a real bounce.
+		f.faults.stats.Unroutable++
+		f.flipBounce(p)
+		f.k.AtArg(head.Add(wire).Add(2*f.p.SwitchLatency), f.deliverFn, p)
+		return srcDone
+	}
 	f.forward(p, route, 0, head.Add(f.p.SwitchLatency), wire)
 	return srcDone
 }
@@ -314,10 +345,41 @@ func (f *Fabric) forward(p *Packet, route []hop, i int, eligible sim.Time, wire 
 	for {
 		h := route[i]
 		if f.part != nil && f.part.SwitchShard[h.sw] != f.shard {
-			p.xhop = i
+			p.xsw = h.sw
 			f.stats.CrossPosted++
 			f.post(f.part.SwitchShard[h.sw], eligible, p)
 			return
+		}
+		if fs := f.faults; fs != nil {
+			// Fault checks are evaluated at the head-arrival instant of
+			// each hop: forward schedules the whole walk at inject time,
+			// so a component that dies while the worm is mid-flight must
+			// be caught by the timeline, not by current state.
+			if fs.switchDownAt(h.sw, eligible) {
+				f.faultTurn(p, h.sw, eligible)
+				return
+			}
+			if li := fs.portLink[h.sw][h.port]; li >= 0 {
+				next := f.topo.links[li].to
+				if fs.linkDownAt(li, eligible) || fs.switchDownAt(next, eligible) {
+					f.faultTurn(p, h.sw, eligible)
+					return
+				}
+				if !p.Bounced {
+					// Loss and corruption bursts hit data traffic only;
+					// bounces are control frames the model keeps clean so
+					// a fault can never silently strand a packet.
+					if fs.lossAt(li, eligible) {
+						fs.stats.Lost++
+						f.faultTurn(p, h.sw, eligible)
+						return
+					}
+					if fs.corruptAt(li, eligible) && !p.Corrupt {
+						p.Corrupt = true
+						fs.stats.Corrupted++
+					}
+				}
+			}
 		}
 		head, _ = f.switches[h.sw].ports[h.port].ReserveAt(eligible, wire)
 		i++
@@ -334,16 +396,84 @@ func (f *Fabric) forward(p *Packet, route []hop, i int, eligible sim.Time, wire 
 }
 
 // ResumeCross continues a packet whose head reached a shard boundary:
-// the owning shard re-resolves the route (its router is a replica, so
-// the route is identical) and walks on from the recorded hop. The
-// signature matches the kernel's argument-event form so the shard
-// exchange can schedule it directly.
+// the owning shard resolves a route from the boundary switch and walks
+// on. Candidate selection is memoryless (it depends only on the current
+// switch, the destination, and the distance map), so on a healthy
+// fabric the resolved route is exactly the suffix of the source route —
+// byte-identical to resuming the original. Under faults the fresh
+// resolution is what reroutes a mid-flight packet around a component
+// that died after injection. The signature matches the kernel's
+// argument-event form so the shard exchange can schedule it directly.
 func (f *Fabric) ResumeCross(a any) {
 	p := a.(*Packet)
 	f.stats.CrossResumed++
-	route := f.router.route(p.Src, p.Dst)
+	route := f.router.routeFrom(p.xsw, p.Dst)
 	wire := sim.Duration(p.WireBytes()) * f.p.LinkByte
-	f.forward(p, route, p.xhop, f.k.Now(), wire)
+	if route == nil {
+		f.faultTurn(p, p.xsw, f.k.Now())
+		return
+	}
+	f.forward(p, route, 0, f.k.Now(), wire)
+}
+
+// flipBounce turns a frame around in place: it becomes a Reject aimed
+// back at its own sender, remembering the original kind so the sender's
+// endpoint can restore it for retransmission. Any corruption picked up
+// on the way out is cleared — the bounce is a fresh control frame — and
+// the frame is re-sealed over the swapped header.
+func (f *Fabric) flipBounce(p *Packet) {
+	p.Bounced = true
+	p.OrigType = p.Type
+	p.Type = Reject
+	p.Src, p.Dst = p.Dst, p.Src
+	p.Corrupt = false
+	p.Seal()
+}
+
+// faultTurn handles a packet whose head hit a failed component at
+// switch sw: the fabric bounces it back to its sender as a Reject. A
+// frame that is already a bounce is never bounced again (its "sender"
+// is the original destination, which may itself be unreachable);
+// instead it is stranded and retried at every recovery toggle, so a
+// plan whose fault windows all close guarantees eventual delivery.
+func (f *Fabric) faultTurn(p *Packet, sw int, at sim.Time) {
+	fs := f.faults
+	if p.Bounced {
+		fs.stats.Stranded++
+		fs.stranded = append(fs.stranded, strandedPkt{pkt: p, sw: sw})
+		return
+	}
+	fs.stats.Bounced++
+	f.flipBounce(p)
+	route := f.router.routeFrom(sw, p.Dst)
+	if route == nil {
+		fs.stats.Stranded++
+		fs.stranded = append(fs.stranded, strandedPkt{pkt: p, sw: sw})
+		return
+	}
+	wire := sim.Duration(p.WireBytes()) * f.p.LinkByte
+	f.forward(p, route, 0, at.Add(f.p.SwitchLatency), wire)
+}
+
+// FaultStats returns a copy of the fault counters (zero value when no
+// fault plan is installed). In a sharded run each replica counts the
+// events it owns; callers merge replica stats with FaultStats.Merge.
+func (f *Fabric) FaultStats() FaultStats {
+	if f.faults == nil {
+		return FaultStats{}
+	}
+	return f.faults.stats
+}
+
+// PendingStranded returns the number of bounced frames still parked at
+// a failed component waiting for a recovery toggle. A run that drains
+// to zero with PendingStranded > 0 lost traffic to a fault window that
+// never closed; resilience tests assert it is zero.
+func (f *Fabric) PendingStranded() int {
+	if f.faults == nil {
+		return 0
+	}
+	return len(f.faults.stranded)
 }
 
 // SetShard binds this fabric replica to one shard of a partitioned

@@ -85,15 +85,35 @@ type Packet struct {
 	// Retries counts how many times return-to-sender has resent it.
 	Retries int
 
+	// Bounced marks a frame the fabric itself turned around at a failed
+	// component (dead link or switch, loss burst, down destination): the
+	// fabric flips it into a Reject aimed back at its sender, and the
+	// sender's endpoint restores OrigType and parks it for
+	// retransmission. Receiver-side rejects (host overload) never set it.
+	Bounced bool
+
+	// OrigType is the frame kind before a fault bounce flipped the
+	// packet into a Reject; meaningful only while Bounced is set.
+	OrigType PacketType
+
+	// Corrupt marks a frame that crossed a link during a corruption
+	// burst. The delivering fabric detects it (the model's stand-in for
+	// a link-level CRC check at the receiving interface) and bounces the
+	// frame instead of delivering it.
+	Corrupt bool
+
 	// crc is a frame check sequence computed at injection and verified
 	// at delivery; it catches buffer-aliasing bugs in the layers above
 	// (a payload mutated while "on the wire" means a missing copy).
 	crc uint64
 
-	// xhop is sharded-run transit state: the route index at which the
-	// packet's head crossed a shard boundary, read by the owning shard
-	// to continue the walk (Fabric.ResumeCross).
-	xhop int
+	// xsw is sharded-run transit state: the switch index at which the
+	// packet's head crossed a shard boundary. The owning shard resolves
+	// a fresh route from that switch and continues the walk
+	// (Fabric.ResumeCross); under faults the re-resolution is also what
+	// reroutes a mid-flight packet around a component that died while it
+	// was crossing.
+	xsw int
 
 	// pooled marks a packet currently parked in its fabric's free list;
 	// it catches double-release and use-after-release ownership bugs.

@@ -127,11 +127,24 @@ func (t *Topology) name(sw int) string {
 // table the seed computed.
 type router struct {
 	t       *Topology
-	fwd     [][]link // forward adjacency, port-ordered
-	rev     [][]int  // reverse adjacency for the backward BFS
+	fwd     [][]adj // forward adjacency, port-ordered
+	rev     [][]int // link indices into t.links arriving at each switch
 	distTo  map[int][]int
-	cache   map[[2]int][]hop // (src switch, dst node) -> route
-	scratch []link           // candidate buffer reused across lookups
+	cache   map[[2]int][]hop // (src switch, dst node) -> route (nil = unreachable)
+	scratch []adj            // candidate buffer reused across lookups
+
+	// fs is the fabric's fault state; nil on a fault-free fabric. When
+	// set, distance maps and candidate selection skip components that
+	// are down right now, and the caches are invalidated at every
+	// topology-state toggle (see Fabric.ApplyFaults).
+	fs *faultState
+}
+
+// adj is one forward-adjacency entry: the link plus its index in the
+// topology's link list, so fault checks can key per-link state.
+type adj struct {
+	link
+	idx int
 }
 
 // newRouter builds the adjacency structures and verifies every ordered
@@ -140,14 +153,14 @@ type router struct {
 func (t *Topology) newRouter() *router {
 	r := &router{
 		t:      t,
-		fwd:    make([][]link, len(t.switches)),
+		fwd:    make([][]adj, len(t.switches)),
 		rev:    make([][]int, len(t.switches)),
 		distTo: map[int][]int{},
 		cache:  map[[2]int][]hop{},
 	}
-	for _, l := range t.links {
-		r.fwd[l.from] = append(r.fwd[l.from], l)
-		r.rev[l.to] = append(r.rev[l.to], l.from)
+	for i, l := range t.links {
+		r.fwd[l.from] = append(r.fwd[l.from], adj{link: l, idx: i})
+		r.rev[l.to] = append(r.rev[l.to], i)
 	}
 	for _, ls := range r.fwd {
 		for i := 1; i < len(ls); i++ { // insertion sort by port; degree is tiny
@@ -192,7 +205,13 @@ func (r *router) checkConnected() {
 		}
 		return out
 	})
-	toS0 := reach(func(sw int) []int { return r.rev[sw] })
+	toS0 := reach(func(sw int) []int {
+		out := make([]int, 0, len(r.rev[sw]))
+		for _, li := range r.rev[sw] {
+			out = append(out, r.t.links[li].from)
+		}
+		return out
+	})
 	for i, n := range r.t.nodes {
 		if !fromS0[n.sw] {
 			panic(fmt.Sprintf("myrinet: no path from %s to %s (node %d unreachable)",
@@ -215,7 +234,11 @@ func (r *router) hintRoutes(n int) {
 }
 
 // distances returns (computing and caching on first use) the hop count
-// from every switch to dstSw.
+// from every switch to dstSw over the links and switches that are up
+// right now. On a fault-free fabric "up right now" is everything, and
+// the maps live for the fabric's lifetime; under faults they are
+// invalidated at every topology-state toggle (see invalidate), so a
+// cached map is always consistent with the current state.
 func (r *router) distances(dstSw int) []int {
 	if d, ok := r.distTo[dstSw]; ok {
 		return d
@@ -229,7 +252,14 @@ func (r *router) distances(dstSw int) []int {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, prev := range r.rev[cur] {
+		for _, li := range r.rev[cur] {
+			if r.fs != nil && r.fs.linkDownNow(li) {
+				continue
+			}
+			prev := r.t.links[li].from
+			if r.fs != nil && r.fs.switchDownNow(prev) {
+				continue
+			}
 			if dist[prev] < 0 {
 				dist[prev] = dist[cur] + 1
 				queue = append(queue, prev)
@@ -240,25 +270,60 @@ func (r *router) distances(dstSw int) []int {
 	return dist
 }
 
+// invalidate discards every cached route and distance map. The fabric
+// calls it at each fault toggle (a component going down or coming back
+// up), so the next resolution re-routes over the now-current healthy
+// subgraph. Fault-free fabrics never call it.
+func (r *router) invalidate() {
+	clear(r.cache)
+	clear(r.distTo)
+}
+
 // route returns the hop sequence from node src to node dst (src != dst),
 // resolving and caching it on first use. The returned slice is owned by
-// the cache and must not be mutated.
+// the cache and must not be mutated. It panics when no healthy path
+// exists; fault-aware callers use routeFrom and handle nil.
 func (r *router) route(src, dst int) []hop {
-	sa, da := r.t.nodes[src], r.t.nodes[dst]
-	key := [2]int{sa.sw, dst}
+	rt := r.routeFrom(r.t.nodes[src].sw, dst)
+	if rt == nil {
+		panic(fmt.Sprintf("myrinet: no path from %s to %s (nodes %d->%d)",
+			r.t.name(r.t.nodes[src].sw), r.t.name(r.t.nodes[dst].sw), src, dst))
+	}
+	return rt
+}
+
+// routeFrom resolves the hop sequence from a switch to node dst over
+// the currently-healthy subgraph, returning nil when dst is unreachable
+// (negative results are cached too — the caches are flushed at every
+// state toggle). Shortest-path suffixes are shortest paths and the
+// spine choice at each switch depends only on (switch, dst), so on a
+// healthy fabric routeFrom(midSw, dst) equals the corresponding suffix
+// of the full source route — which is what lets cross-shard
+// continuations and fault bounces re-resolve from their current switch
+// without carrying the original route along.
+func (r *router) routeFrom(srcSw, dst int) []hop {
+	da := r.t.nodes[dst]
+	key := [2]int{srcSw, dst}
 	if rt, ok := r.cache[key]; ok {
 		return rt
 	}
-	dist := r.distances(da.sw)
-	if dist[sa.sw] < 0 {
-		panic(fmt.Sprintf("myrinet: no path from %s to %s (nodes %d->%d)",
-			r.t.name(sa.sw), r.t.name(da.sw), src, dst))
+	if r.fs != nil && (r.fs.switchDownNow(srcSw) || r.fs.switchDownNow(da.sw)) {
+		r.cache[key] = nil
+		return nil
 	}
-	route := make([]hop, 0, dist[sa.sw]+1)
-	cur := sa.sw
+	dist := r.distances(da.sw)
+	if dist[srcSw] < 0 {
+		r.cache[key] = nil
+		return nil
+	}
+	route := make([]hop, 0, dist[srcSw]+1)
+	cur := srcSw
 	for cur != da.sw {
 		cands := r.scratch[:0]
 		for _, l := range r.fwd[cur] {
+			if r.fs != nil && r.fs.linkDownNow(l.idx) {
+				continue
+			}
 			if dist[l.to] == dist[cur]-1 {
 				cands = append(cands, l)
 			}

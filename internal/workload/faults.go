@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+)
+
+// Fault plans. A FaultPlan is the workload-level description of every
+// component outage a run injects: which links, switches, and node
+// interfaces go down (or run loss/corruption bursts), and when, in
+// virtual microseconds. Plans are pure data — they come from a seed
+// (RandomFaultPlan) or from text (ParseFaultPlan), compile to
+// myrinet.FaultWindow timelines against a concrete topology, and carry
+// no randomness of their own at run time, so a plan replays
+// byte-identically at any -workers or -shards setting.
+
+// FaultEvent is one outage: component Index of class Kind is down (or
+// bursting) from StartUs to EndUs in virtual microseconds, end
+// exclusive.
+type FaultEvent struct {
+	Kind    myrinet.FaultKind
+	Index   int
+	StartUs int64
+	EndUs   int64
+}
+
+// String renders the event in the plan text format.
+func (e FaultEvent) String() string {
+	return fmt.Sprintf("%s %d %d %d", e.Kind, e.Index, e.StartUs, e.EndUs)
+}
+
+// FaultPlan is an ordered list of fault events plus the seed that
+// generated it (zero for hand-written plans). Event order is
+// insignificant to the simulation — the fabric sorts windows per
+// component — but is preserved so String round-trips.
+type FaultPlan struct {
+	Seed   uint64
+	Events []FaultEvent
+}
+
+// Empty reports whether the plan injects nothing.
+func (p FaultPlan) Empty() bool { return len(p.Events) == 0 }
+
+// String renders the plan in the text format ParseFaultPlan accepts:
+// events joined by "; ".
+func (p FaultPlan) String() string {
+	var b strings.Builder
+	for i, e := range p.Events {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// ParseFaultPlan decodes the plan text format: events separated by
+// semicolons or newlines, each "kind index startUs endUs" with kind one
+// of link, switch, node, loss, corrupt. Blank events and #-comments are
+// ignored. The decoder validates shape only (a plan is written against
+// a topology it cannot see); index range and window sanity are checked
+// when the plan is compiled by Windows. It never panics on any input.
+func ParseFaultPlan(s string) (FaultPlan, error) {
+	var p FaultPlan
+	split := func(r rune) bool { return r == ';' || r == '\n' }
+	for _, ev := range strings.FieldsFunc(s, split) {
+		if i := strings.IndexByte(ev, '#'); i >= 0 {
+			ev = ev[:i]
+		}
+		fields := strings.Fields(ev)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 4 {
+			return FaultPlan{}, fmt.Errorf("workload: fault event %q: want \"kind index startUs endUs\"", strings.TrimSpace(ev))
+		}
+		var kind myrinet.FaultKind
+		switch fields[0] {
+		case "link":
+			kind = myrinet.LinkFault
+		case "switch":
+			kind = myrinet.SwitchFault
+		case "node":
+			kind = myrinet.NodeFault
+		case "loss":
+			kind = myrinet.LossBurst
+		case "corrupt":
+			kind = myrinet.CorruptBurst
+		default:
+			return FaultPlan{}, fmt.Errorf("workload: fault event %q: unknown kind %q", strings.TrimSpace(ev), fields[0])
+		}
+		idx, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return FaultPlan{}, fmt.Errorf("workload: fault event %q: bad index: %v", strings.TrimSpace(ev), err)
+		}
+		start, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return FaultPlan{}, fmt.Errorf("workload: fault event %q: bad start: %v", strings.TrimSpace(ev), err)
+		}
+		end, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return FaultPlan{}, fmt.Errorf("workload: fault event %q: bad end: %v", strings.TrimSpace(ev), err)
+		}
+		p.Events = append(p.Events, FaultEvent{Kind: kind, Index: idx, StartUs: start, EndUs: end})
+	}
+	return p, nil
+}
+
+// Windows compiles the plan against a concrete topology, validating
+// every event: indices must name real components and windows must be
+// non-empty, non-negative, and end by the horizon (a window that never
+// closes could strand bounced frames forever, breaking the
+// zero-undelivered guarantee). Returns the fabric-level timeline for
+// myrinet.Fabric.ApplyFaults.
+func (p FaultPlan) Windows(t *myrinet.Topology, horizonUs int64) ([]myrinet.FaultWindow, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	ws := make([]myrinet.FaultWindow, 0, len(p.Events))
+	for _, e := range p.Events {
+		var limit int
+		switch e.Kind {
+		case myrinet.LinkFault, myrinet.LossBurst, myrinet.CorruptBurst:
+			limit = t.NumLinks()
+		case myrinet.SwitchFault:
+			limit = t.NumSwitches()
+		case myrinet.NodeFault:
+			limit = t.NumNodes()
+		default:
+			return nil, fmt.Errorf("workload: fault event %v: unknown kind", e)
+		}
+		if e.Index < 0 || e.Index >= limit {
+			return nil, fmt.Errorf("workload: fault event %v: index out of range (%d %s components)", e, limit, e.Kind)
+		}
+		if e.StartUs < 0 || e.EndUs <= e.StartUs {
+			return nil, fmt.Errorf("workload: fault event %v: empty or negative window", e)
+		}
+		if horizonUs > 0 && e.EndUs > horizonUs {
+			return nil, fmt.Errorf("workload: fault event %v: window open past horizon %dus", e, horizonUs)
+		}
+		ws = append(ws, myrinet.FaultWindow{
+			Kind:  e.Kind,
+			Index: e.Index,
+			Start: sim.Time(0).Add(sim.Us(e.StartUs)),
+			End:   sim.Time(0).Add(sim.Us(e.EndUs)),
+		})
+	}
+	return ws, nil
+}
+
+// RandomFaultPlan derives a fault plan from a single seed against a
+// topology: n outage windows over components that exist, all opening
+// inside the middle of the [0, horizonUs] horizon and closing before
+// it ends (so traffic in flight when a fault lands gets bounced, and
+// every window's recovery releases whatever it stranded). The draw
+// sequence depends only on (seed, topology shape, n, horizonUs), never
+// on scheduling, so the same arguments give the same plan on every
+// run, worker count, and shard count.
+//
+// Kind mix: mostly link outages and loss/corruption bursts, with
+// occasional node-interface churn, and switch outages only where a
+// non-leaf (spine) switch exists — killing a leaf would disconnect its
+// nodes outright, which is a different experiment.
+func RandomFaultPlan(seed uint64, t *myrinet.Topology, n int, horizonUs int64) FaultPlan {
+	if n <= 0 || horizonUs < 16 {
+		return FaultPlan{Seed: seed}
+	}
+	r := newSplitMix64(seed, 0x0fa1175)
+	var spines []int
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		if !t.HostsNodes(sw) {
+			spines = append(spines, sw)
+		}
+	}
+	p := FaultPlan{Seed: seed}
+	for i := 0; i < n; i++ {
+		// Window: starts in [h/8, h/2), lasts [h/16, h/4) — mid-run, and
+		// always recovered well before the horizon.
+		start := horizonUs/8 + int64(r.next()%uint64(3*horizonUs/8))
+		dur := horizonUs/16 + int64(r.next()%uint64(3*horizonUs/16))
+		e := FaultEvent{StartUs: start, EndUs: start + dur}
+		switch pick := r.next() % 10; {
+		case pick < 4 && t.NumLinks() > 0:
+			e.Kind = myrinet.LinkFault
+			e.Index = int(r.next() % uint64(t.NumLinks()))
+		case pick < 6 && t.NumLinks() > 0:
+			e.Kind = myrinet.LossBurst
+			e.Index = int(r.next() % uint64(t.NumLinks()))
+		case pick < 8 && t.NumLinks() > 0:
+			e.Kind = myrinet.CorruptBurst
+			e.Index = int(r.next() % uint64(t.NumLinks()))
+		case pick < 9 && len(spines) > 0:
+			e.Kind = myrinet.SwitchFault
+			e.Index = spines[r.next()%uint64(len(spines))]
+		default:
+			e.Kind = myrinet.NodeFault
+			e.Index = int(r.next() % uint64(t.NumNodes()))
+		}
+		p.Events = append(p.Events, e)
+	}
+	return p
+}
