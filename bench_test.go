@@ -365,6 +365,33 @@ func BenchmarkFaultDrive(b *testing.B) {
 	b.ReportMetric(retx, "sim-retransmits")
 }
 
+// BenchmarkSoakDrive streams a deterministic Poisson source through the
+// full FM stack on a 16-node Clos past its saturation knee, folding the
+// run into 50us series windows: the open-loop pacing loop (poll-wait
+// extraction between scheduled sends), per-window histogram recording,
+// and retransmit-delta attribution — everything the soak experiment adds
+// over a batch FM drive. The driver panics on any undelivered arrival,
+// so this is also a delivery smoke. Baseline numbers live in
+// BENCH_pr8.json.
+func BenchmarkSoakDrive(b *testing.B) {
+	b.ReportAllocs()
+	p := cost.Default()
+	spec := workload.ClosSpec(16)
+	src := workload.PoissonSource{
+		Base:    workload.UniformRandom{Seed: 1995, Packets: 16},
+		Seed:    1995,
+		MeanGap: 20 * sim.Microsecond,
+		Horizon: 300 * sim.Microsecond,
+	}
+	opt := workload.SoakOptions{Width: 50 * sim.Microsecond, Mode: workload.TerminateHorizon}
+	var backlog float64
+	for i := 0; i < b.N; i++ {
+		res := workload.SoakDriveFM(spec, core.DefaultConfig(), p, src, 112, opt)
+		backlog = float64(res.Series.InFlight(res.HorizonWindows() - 1))
+	}
+	b.ReportMetric(backlog, "sim-backlog")
+}
+
 // --- Ablation benches: the DESIGN.md design choices ---
 
 func BenchmarkAblationBurstPIO(b *testing.B) {

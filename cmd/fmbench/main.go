@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale|faults]
+//	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale|faults|soak]
 //	        [-paper-exact] [-packets N] [-rounds N] [-workers N] [-shards N]
 //	        [-fabric-nodes N] [-pattern-nodes N] [-scale-nodes LIST]
 //	        [-fault-seed N] [-fault-plan PLAN] [-fault-nodes N]
+//	        [-soak-source poisson|fixed] [-soak-pattern NAME] [-soak-nodes N]
+//	        [-soak-loads LIST] [-soak-horizon-us N] [-soak-window-us N]
+//	        [-soak-seed N] [-soak-drain]
 //	        [-csv DIR] [-list] [-timing]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -40,6 +43,23 @@
 // Clos fabric (default 32). A bad plan is rejected, with the reason,
 // before anything runs. The report is byte-identical at any -workers
 // and -shards setting (DESIGN.md "Fault model").
+//
+// The soak experiment (extended; run by id) streams open-loop traffic
+// through the full FM stack and reports a windowed time series per
+// offered-load point: throughput, sojourn p50/p99/p999, in-flight
+// backlog, and retransmits per fixed-width virtual-time window, with
+// the saturation knee visible across the ladder. -soak-source picks
+// the arrival process (seeded poisson or phase-staggered fixed rate),
+// -soak-pattern the destination structure, -soak-loads the ladder in
+// MB/s per node, -soak-horizon-us/-soak-window-us the observation
+// geometry, and -soak-drain extends the reported timeline through
+// quiescence instead of clipping at the horizon. An explicit
+// -fault-plan is overlaid on every load point so recovery transients
+// show up in the windows. Every -soak-* combination is validated
+// before anything runs, and a -soak-* flag without the soak experiment
+// selected is rejected outright. The timeline is computed on the
+// canonical single-kernel engine, so soak output is byte-identical at
+// any -workers and -shards setting.
 //
 // -timing appends one wall-clock line per experiment (off by default,
 // so default outputs stay byte-identical run to run); -scale-nodes
@@ -85,8 +105,16 @@ func run() int {
 	patternNodes := flag.Int("pattern-nodes", 0, "override node count for the patterns experiment (default 32)")
 	scaleNodes := flag.String("scale-nodes", "", "override the scale sweep's node counts (comma-separated, e.g. 64,256,1024)")
 	faultSeed := flag.Uint64("fault-seed", 1995, "the faults experiment's plan seed (0 = empty plan, inject nothing)")
-	faultPlan := flag.String("fault-plan", "", "explicit fault plan for the faults experiment (\"kind index startUs endUs; ...\"), overrides -fault-seed")
+	faultPlan := flag.String("fault-plan", "", "explicit fault plan for the faults experiment (\"kind index startUs endUs; ...\"), overrides -fault-seed; the soak experiment overlays it on every load point")
 	faultNodes := flag.Int("fault-nodes", 0, "override node count for the faults experiment (default 32)")
+	soakSource := flag.String("soak-source", "poisson", "the soak experiment's arrival process (poisson or fixed)")
+	soakPattern := flag.String("soak-pattern", "uniform-random", "base traffic pattern the soak source cycles through")
+	soakNodes := flag.Int("soak-nodes", 0, "override node count for the soak experiment's Clos (default 64)")
+	soakLoads := flag.String("soak-loads", "", "override the soak offered-load ladder, MB/s per node (comma-separated, e.g. 8,16,24)")
+	soakHorizon := flag.Int("soak-horizon-us", 0, "override the soak arrival horizon in virtual microseconds (default 1500)")
+	soakWindow := flag.Int("soak-window-us", 0, "override the soak series window width in virtual microseconds (default 150)")
+	soakSeed := flag.Uint64("soak-seed", 1995, "seed for the soak experiment's Poisson arrival streams")
+	soakDrain := flag.Bool("soak-drain", false, "report the soak timeline through quiescence instead of clipping at the horizon")
 	csvDir := flag.String("csv", "", "also write CSV series into this directory")
 	list := flag.Bool("list", false, "list every experiment id with its description and exit")
 	timing := flag.Bool("timing", false, "print wall-clock time per experiment (off by default: outputs stay byte-identical)")
@@ -97,10 +125,10 @@ func run() int {
 	if *list {
 		fmt.Printf("%-10s %s\n", "all", "the paper set: every experiment below except the extended ones")
 		for _, e := range bench.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Printf("%-10s %s\n%-10s   %s\n", e.ID, e.Title, "", e.Desc)
 		}
 		for _, e := range bench.Extended() {
-			fmt.Printf("%-10s %s (extended: not part of `all`)\n", e.ID, e.Title)
+			fmt.Printf("%-10s %s (extended: not part of `all`)\n%-10s   %s\n", e.ID, e.Title, "", e.Desc)
 		}
 		return 0
 	}
@@ -141,12 +169,30 @@ func run() int {
 	if *faultNodes > 0 {
 		opt.FaultNodes = *faultNodes
 	}
-	// Validate the fault plan (text shape, component indices, window
-	// sanity against the chosen fabric) before anything runs, like every
-	// other flag: a typo must not cost a partial run.
-	if err := bench.ValidateFaults(opt); err != nil {
-		fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
-		return 2
+	opt.SoakSource = *soakSource
+	opt.SoakPattern = *soakPattern
+	opt.SoakSeed = *soakSeed
+	opt.SoakDrain = *soakDrain
+	if *soakNodes > 0 {
+		opt.SoakNodes = *soakNodes
+	}
+	if *soakHorizon > 0 {
+		opt.SoakHorizonUs = *soakHorizon
+	}
+	if *soakWindow > 0 {
+		opt.SoakWindowUs = *soakWindow
+	}
+	if *soakLoads != "" {
+		var loads []float64
+		for _, f := range strings.Split(*soakLoads, ",") {
+			l, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || l <= 0 {
+				fmt.Fprintf(os.Stderr, "fmbench: bad -soak-loads entry %q (want positive MB/s per node)\n", f)
+				return 2
+			}
+			loads = append(loads, l)
+		}
+		opt.SoakLoads = loads
 	}
 
 	// Validate every requested id before running anything: a typo in a
@@ -177,6 +223,40 @@ func run() int {
 			return 2
 		}
 		add(e)
+	}
+
+	// A -soak-* flag given explicitly while the soak experiment is not
+	// selected is a mistake, not a no-op: reject it before anything runs.
+	soakFlagged := ""
+	flag.Visit(func(f *flag.Flag) {
+		if soakFlagged == "" && strings.HasPrefix(f.Name, "soak-") {
+			soakFlagged = f.Name
+		}
+	})
+	if soakFlagged != "" && !seen["soak"] {
+		fmt.Fprintf(os.Stderr, "fmbench: -%s is set but the soak experiment is not selected (add soak to -experiment)\n", soakFlagged)
+		return 2
+	}
+	// Validate the soak configuration (source/pattern names, load
+	// ladder, horizon/window geometry, overlaid fault plan) before
+	// anything runs, like every other flag.
+	if seen["soak"] {
+		if err := bench.ValidateSoak(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			return 2
+		}
+	}
+	// Validate the fault plan (text shape, component indices, window
+	// sanity against the chosen fabric) the same way. When only the soak
+	// experiment consumes the plan, ValidateSoak above has already
+	// compiled it against the soak fabric and horizon — skipping the
+	// faults-experiment check there keeps plans with windows past the
+	// faults horizon usable for long soaks.
+	if seen["faults"] || !seen["soak"] {
+		if err := bench.ValidateFaults(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			return 2
+		}
 	}
 
 	// Validate -shards the same way: against every selected experiment,

@@ -71,6 +71,26 @@ type Options struct {
 	// workload.ParseFaultPlan text format ("kind index startUs endUs"
 	// events joined by semicolons) and overrides FaultSeed.
 	FaultPlan string
+	// SoakSource selects the soak experiment's open-loop arrival
+	// process: "poisson" (seeded exponential interarrivals) or "fixed"
+	// (strict clock, ranks phase-staggered).
+	SoakSource string
+	// SoakPattern names the base traffic pattern the soak source cycles
+	// through (see soakBase for the catalog; default uniform-random).
+	SoakPattern string
+	// SoakNodes sizes the soak experiment's 2-level Clos (default 64).
+	SoakNodes int
+	// SoakLoads are the offered-load sweep points in MB/s per node.
+	SoakLoads []float64
+	// SoakHorizonUs is the arrival horizon in virtual microseconds;
+	// SoakWindowUs the series window width.
+	SoakHorizonUs int
+	SoakWindowUs  int
+	// SoakSeed derives the Poisson source's per-rank arrival streams.
+	SoakSeed uint64
+	// SoakDrain switches the reported span from the fixed horizon
+	// (default) to the full timeline through quiescence.
+	SoakDrain bool
 }
 
 // DefaultOptions returns a sweep that reproduces every curve shape in a
@@ -88,6 +108,19 @@ func DefaultOptions() Options {
 		Shards:       1,
 		FaultNodes:   32,
 		FaultSeed:    1995,
+		SoakSource:   "poisson",
+		SoakPattern:  "uniform-random",
+		SoakNodes:    64,
+		// Contended 112B uniform-random traffic on clos-64 services
+		// ~2-2.5 MB/s per node (per-message host overhead dominates —
+		// Table 4's ~21 MB/s r_inf is a streamed pingpong figure), so
+		// this ladder straddles the knee: p50/p99 are flat through
+		// 1.5 MB/s and the last points sit past saturation, where the
+		// windowed p99 and the horizon-bell backlog blow up.
+		SoakLoads:     []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 6},
+		SoakHorizonUs: 1500,
+		SoakWindowUs:  150,
+		SoakSeed:      1995,
 	}
 }
 
@@ -137,6 +170,27 @@ type Table struct {
 	Rows   [][]string
 }
 
+// SeriesRow is one fixed-width virtual-time window of a TimeSeries.
+type SeriesRow struct {
+	StartUs   float64 // window opening instant
+	Offered   uint64  // open-loop arrivals scheduled in the window
+	Delivered uint64  // deliveries completed in the window
+	MBps      float64 // delivered payload bandwidth over the window
+	P50us     float64 // sojourn-latency percentiles of the window's
+	P99us     float64 // deliveries (zero for an idle window)
+	P999us    float64
+	InFlight  int64  // backlog at window close (cumulative offered-delivered)
+	Retrans   uint64 // retransmissions attributed to the window
+}
+
+// TimeSeries is one windowed timeline — the report shape streaming
+// experiments render, text and CSV, alongside the batch tables.
+type TimeSeries struct {
+	Name    string
+	WidthUs float64
+	Rows    []SeriesRow
+}
+
 // Report is one regenerated figure or table.
 type Report struct {
 	ID     string
@@ -145,30 +199,45 @@ type Report struct {
 	Rows   []Row
 	KVs    []KV
 	Tables []Table
+	Series []TimeSeries
 	Notes  []string
 }
 
-// Experiment binds an ID to its regeneration function.
+// Experiment binds an ID to its regeneration function. Desc is the
+// one-line what-it-measures description `fmbench -list` prints under
+// the title.
 type Experiment struct {
 	ID    string
 	Title string
+	Desc  string
 	Run   func(Options) *Report
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig3", "Figure 3: LANai-to-LANai performance (baseline vs. streamed vs. theoretical peak)", Fig3},
-		{"fig4", "Figure 4: Minimal host-to-host performance (hybrid vs. all-DMA SBus management)", Fig4},
-		{"fig7", "Figure 7: Host-to-host performance with buffer management (and switch() interpretation)", Fig7},
-		{"fig8", "Figure 8: Fast Messages layer performance with flow control", Fig8},
-		{"fig9", "Figure 9: Fast Messages vs. Myricom's API", Fig9},
-		{"table4", "Table 4: Summary of FM 1.0 performance data", Table4},
-		{"headline", "Headline numbers (Sections 1 and 5)", Headline},
-		{"ablations", "Ablations: frame size, flow control, DMA aggregation, ack piggybacking, hardware what-ifs", Ablations},
-		{"fabrics", "Fabric scaling: all-to-all and bisection traffic on crossbar vs. line vs. Clos", Fabrics},
-		{"mpi", "MPI on FM: the cost of layering (tagged matching vs. raw FM, crossbar and Clos)", MPILayering},
-		{"patterns", "Workload patterns: the traffic catalog x crossbar/line/Clos x raw/FM/MPI stack levels", Patterns},
+		{"fig3", "Figure 3: LANai-to-LANai performance (baseline vs. streamed vs. theoretical peak)",
+			"latency/BW size sweep on the bare LANai path, three firmware variants against the 80 MB/s link peak", Fig3},
+		{"fig4", "Figure 4: Minimal host-to-host performance (hybrid vs. all-DMA SBus management)",
+			"host-to-host size sweep isolating the SBus transfer policy: programmed-I/O hybrid vs. all-DMA", Fig4},
+		{"fig7", "Figure 7: Host-to-host performance with buffer management (and switch() interpretation)",
+			"adds receive-buffer management to fig4's path; reproduces both readings of the paper's switch() cost", Fig7},
+		{"fig8", "Figure 8: Fast Messages layer performance with flow control",
+			"the complete FM 1.0 API: handler dispatch plus window flow control, latency and BW vs. size", Fig8},
+		{"fig9", "Figure 9: Fast Messages vs. Myricom's API",
+			"FM against the vendor API it replaced, including the API's thousands-of-bytes n1/2 sweep", Fig9},
+		{"table4", "Table 4: Summary of FM 1.0 performance data",
+			"fits t0, r_inf, and n1/2 for every layer configuration next to the paper's published values", Table4},
+		{"headline", "Headline numbers (Sections 1 and 5)",
+			"the abstract's claims as one table: short-message latency, peak BW, n1/2 vs. the paper", Headline},
+		{"ablations", "Ablations: frame size, flow control, DMA aggregation, ack piggybacking, hardware what-ifs",
+			"design-choice sweeps the Discussion calls for, each knob toggled on the full stack", Ablations},
+		{"fabrics", "Fabric scaling: all-to-all and bisection traffic on crossbar vs. line vs. Clos",
+			"64-node all-to-all and bisection totals across three topologies at raw and FM stack levels (-fabric-nodes)", Fabrics},
+		{"mpi", "MPI on FM: the cost of layering (tagged matching vs. raw FM, crossbar and Clos)",
+			"MPI-on-FM size sweep vs. raw FM with t0/r_inf/n1/2 fits, on a crossbar and a cross-leaf Clos path", MPILayering},
+		{"patterns", "Workload patterns: the traffic catalog x crossbar/line/Clos x raw/FM/MPI stack levels",
+			"every traffic pattern on every fabric at every stack depth, one completion/BW/latency matrix (-pattern-nodes)", Patterns},
 	}
 }
 
@@ -177,8 +246,12 @@ func All() []Experiment {
 // dwarfs the paper reproductions. Run them by id.
 func Extended() []Experiment {
 	return []Experiment{
-		{"scale", "Clos scaling sweep: 64 to 4096 nodes, raw fabric and full FM stack (~30 min; trim with -scale-nodes)", Scale},
-		{"faults", "Resilience: seeded fault injection (outages, loss, corruption) on a Clos — degraded bisection BW, retransmits, recovery (-fault-seed/-fault-plan/-fault-nodes)", Faults},
+		{"scale", "Clos scaling sweep: 64 to 4096 nodes, raw fabric and full FM stack (~30 min; trim with -scale-nodes)",
+			"full-bisection Clos sweep driving all-to-all and bisection traffic at raw and FM levels; shards with -shards", Scale},
+		{"faults", "Resilience: seeded fault injection (outages, loss, corruption) on a Clos — degraded bisection BW, retransmits, recovery (-fault-seed/-fault-plan/-fault-nodes)",
+			"injects a deterministic fault plan mid-traffic and reports delivery proof, degraded BW, and recovery time", Faults},
+		{"soak", "Soak: open-loop offered-load sweep with windowed time series on a Clos (-soak-*)",
+			"streams Poisson or fixed-rate arrivals through the FM stack across an offered-load ladder; windowed p50/p99/p999 and backlog expose the saturation knee (-soak-source/-soak-pattern/-soak-nodes/-soak-loads/-soak-horizon-us/-soak-window-us/-soak-seed/-soak-drain; -fault-plan overlays recovery transients)", Soak},
 	}
 }
 
@@ -287,6 +360,16 @@ func (r *Report) WriteText(w io.Writer) {
 			writeRow(row)
 		}
 	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n-- %s (%.0fus windows) --\n", s.Name, s.WidthUs)
+		fmt.Fprintf(w, "%8s %8s %10s %9s %9s %9s %9s %9s %8s\n",
+			"t (us)", "offered", "delivered", "MB/s", "p50 (us)", "p99 (us)", "p999(us)", "inflight", "retrans")
+		for _, row := range s.Rows {
+			fmt.Fprintf(w, "%8.0f %8d %10d %9.2f %9.1f %9.1f %9.1f %9d %8d\n",
+				row.StartUs, row.Offered, row.Delivered, row.MBps,
+				row.P50us, row.P99us, row.P999us, row.InFlight, row.Retrans)
+		}
+	}
 	for _, note := range r.Notes {
 		fmt.Fprintf(w, "note: %s\n", note)
 	}
@@ -348,6 +431,32 @@ func (r *Report) WriteCSV(dir string) error {
 		_ = cw.Write(t.Header)
 		for _, row := range t.Rows {
 			_ = cw.Write(row)
+		}
+		cw.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		f, err := os.Create(filepath.Join(dir, r.ID+"_"+sanitize(s.Name)+".csv"))
+		if err != nil {
+			return err
+		}
+		cw := csv.NewWriter(f)
+		_ = cw.Write([]string{"t_us", "offered", "delivered", "MBps",
+			"p50_us", "p99_us", "p999_us", "inflight", "retransmits"})
+		for _, row := range s.Rows {
+			_ = cw.Write([]string{
+				fmt.Sprintf("%.0f", row.StartUs),
+				strconv.FormatUint(row.Offered, 10),
+				strconv.FormatUint(row.Delivered, 10),
+				fmt.Sprintf("%.4f", row.MBps),
+				fmt.Sprintf("%.4f", row.P50us),
+				fmt.Sprintf("%.4f", row.P99us),
+				fmt.Sprintf("%.4f", row.P999us),
+				strconv.FormatInt(row.InFlight, 10),
+				strconv.FormatUint(row.Retrans, 10),
+			})
 		}
 		cw.Flush()
 		if err := f.Close(); err != nil {

@@ -40,6 +40,13 @@ func ShardSupport(id string, opt Options) (int, string) {
 		}
 		_, groups := workload.Geometry(n)
 		return groups, fmt.Sprintf("the faults experiment runs one 2-level Clos, and clos-%d has %d leaf groups", n, groups)
+	case "soak":
+		n := opt.SoakNodes
+		if n == 0 {
+			n = DefaultOptions().SoakNodes
+		}
+		_, groups := workload.Geometry(n)
+		return groups, fmt.Sprintf("the soak timeline is computed on the canonical single-kernel engine (output is shard-invariant), and clos-%d accepts up to its %d leaf groups", n, groups)
 	case "fabrics", "patterns", "mpi":
 		return 1, "compares crossbar and line fabrics; a crossbar is a single leaf group and a line links leaves directly, so neither partitions"
 	default:

@@ -35,6 +35,14 @@ func TestShardSupport(t *testing.T) {
 		t.Fatalf("ShardSupport(faults, 64 nodes) = %d, want %d", n, g64)
 	}
 
+	// soak: accepts up to the leaf-group count of its Clos even though
+	// the timeline itself always runs on the canonical single kernel.
+	opt = DefaultOptions()
+	_, g64soak := workload.Geometry(64)
+	if n, detail := ShardSupport("soak", opt); n != g64soak || !strings.Contains(detail, "single-kernel") {
+		t.Fatalf("ShardSupport(soak) = %d %q, want %d citing the single-kernel engine", n, detail, g64soak)
+	}
+
 	// Everything else is single-kernel only, with a reason to print.
 	for _, id := range []string{"fig3", "fig8", "table4", "headline", "ablations", "fabrics", "patterns", "mpi"} {
 		if n, detail := ShardSupport(id, opt); n != 1 || detail == "" {

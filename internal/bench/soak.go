@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/metrics"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+	"fm/internal/workload"
+)
+
+// The soak experiment: sustained open-loop load through the full FM
+// stack, reported as a windowed time series per offered-load point.
+// Batch experiments average a run into one summary; the soak ladder
+// sweeps offered load across the FM host path's service capacity and
+// shows, window by window, where the saturation knee sits — delivered
+// bandwidth flattening while sojourn p99 and backlog blow up.
+//
+// The timeline is always computed on the canonical single-kernel
+// engine, whatever -shards says. A sharded engine is deterministic for
+// a fixed shard count, but under contention it grants switch output
+// ports in merged head-arrival order where the single kernel grants
+// them in injection order — and a saturation study is contended by
+// definition. Pinning the one canonical engine is what makes this
+// report byte-identical at any accepted -workers and -shards value.
+
+// soakSize is the soak payload: the paper's 128B frame minus the 16B
+// header, matching the fabrics/patterns experiments.
+const soakSize = 112
+
+// soakBase resolves the named base pattern the source cycles through.
+// The catalog is the deterministic subset of the pattern vocabulary
+// that makes sense under sustained load (every rank keeps sending).
+func soakBase(name string) (workload.Pattern, error) {
+	switch name {
+	case "uniform-random":
+		return workload.UniformRandom{Seed: patternSeed, Packets: 16}, nil
+	case "all-to-all":
+		return workload.AllToAll{Rounds: 1}, nil
+	case "tornado":
+		return workload.Tornado{Packets: 16}, nil
+	case "neighbor":
+		return workload.Neighbor{Rounds: 16, Wrap: true}, nil
+	case "bisection":
+		return workload.Bisection{Packets: 16}, nil
+	case "incast":
+		return workload.Incast{Target: 0, Packets: 16}, nil
+	}
+	return nil, fmt.Errorf("unknown -soak-pattern %q (valid: uniform-random, all-to-all, tornado, neighbor, bisection, incast)", name)
+}
+
+// soakGap converts one offered-load point (MB/s per node) into the
+// per-rank mean interarrival gap for soakSize-byte messages.
+func soakGap(loadMBps float64) sim.Duration {
+	return sim.Duration(float64(soakSize) / (loadMBps * metrics.MiB) * float64(sim.Second))
+}
+
+// soakSource builds the arrival process for one load point.
+func soakSource(opt Options, base workload.Pattern, loadMBps float64) workload.Source {
+	horizon := sim.Duration(opt.SoakHorizonUs) * sim.Microsecond
+	gap := soakGap(loadMBps)
+	if opt.SoakSource == "fixed" {
+		return workload.FixedRateSource{Base: base, Gap: gap, Horizon: horizon}
+	}
+	return workload.PoissonSource{Base: base, Seed: opt.SoakSeed, MeanGap: gap, Horizon: horizon}
+}
+
+// soakFaults compiles the optional -fault-plan against the soak fabric.
+// Only an explicit plan applies — the faults experiment's seed default
+// must not leak fault traffic into a load study nobody asked it of.
+func soakFaults(opt Options, n int) ([]myrinet.FaultWindow, error) {
+	if opt.FaultPlan == "" {
+		return nil, nil
+	}
+	plan, err := workload.ParseFaultPlan(opt.FaultPlan)
+	if err != nil {
+		return nil, err
+	}
+	topo := workload.ClosSpec(n).Build(sim.NewKernel(), cost.Default()).Topology()
+	return plan.Windows(topo, int64(opt.SoakHorizonUs))
+}
+
+// soakNodes resolves the experiment's (adjusted) node count.
+func soakNodes(opt Options, base workload.Pattern) int {
+	n := opt.SoakNodes
+	if n == 0 {
+		n = DefaultOptions().SoakNodes
+	}
+	if n < 8 {
+		n = 8
+	}
+	return workload.AdjustNodes(base, n)
+}
+
+// ValidateSoak checks every -soak-* setting (and the optional fault
+// plan) before anything runs, so fmbench can reject a bad combination
+// without costing a partial sweep.
+func ValidateSoak(opt Options) error {
+	if opt.SoakSource != "poisson" && opt.SoakSource != "fixed" {
+		return fmt.Errorf("unknown -soak-source %q (valid: poisson, fixed)", opt.SoakSource)
+	}
+	base, err := soakBase(opt.SoakPattern)
+	if err != nil {
+		return err
+	}
+	if len(opt.SoakLoads) == 0 {
+		return fmt.Errorf("-soak-loads is empty: need at least one offered-load point (MB/s per node)")
+	}
+	for _, l := range opt.SoakLoads {
+		if l <= 0 {
+			return fmt.Errorf("-soak-loads entry %g: offered load must be positive MB/s per node", l)
+		}
+	}
+	if opt.SoakHorizonUs <= 0 {
+		return fmt.Errorf("-soak-horizon-us %d: the arrival horizon must be positive", opt.SoakHorizonUs)
+	}
+	if opt.SoakWindowUs <= 0 {
+		return fmt.Errorf("-soak-window-us %d: the series window must be positive", opt.SoakWindowUs)
+	}
+	if opt.SoakWindowUs > opt.SoakHorizonUs {
+		return fmt.Errorf("-soak-window-us %d exceeds -soak-horizon-us %d: a soak needs at least one full window",
+			opt.SoakWindowUs, opt.SoakHorizonUs)
+	}
+	_, err = soakFaults(opt, soakNodes(opt, base))
+	return err
+}
+
+// Soak regenerates the open-loop load study: one windowed time series
+// per offered-load point plus the cross-load knee table.
+func Soak(opt Options) *Report {
+	p := cost.Default()
+	cfg := core.DefaultConfig()
+	base, err := soakBase(opt.SoakPattern)
+	if err != nil {
+		panic(fmt.Sprintf("bench: soak: %v", err))
+	}
+	n := soakNodes(opt, base)
+	ws, err := soakFaults(opt, n)
+	if err != nil {
+		panic(fmt.Sprintf("bench: soak: %v", err))
+	}
+	spec := workload.ClosSpec(n)
+	mode := workload.TerminateHorizon
+	if opt.SoakDrain {
+		mode = workload.TerminateDrain
+	}
+	sopt := workload.SoakOptions{
+		Width:  sim.Duration(opt.SoakWindowUs) * sim.Microsecond,
+		Mode:   mode,
+		Faults: ws,
+	}
+
+	loads := append([]float64(nil), opt.SoakLoads...)
+	sort.Float64s(loads)
+	results := make([]workload.SoakResult, len(loads))
+	jobs := make([]func(), len(loads))
+	for i, load := range loads {
+		i, load := i, load
+		jobs[i] = func() {
+			results[i] = workload.SoakDriveFM(spec, cfg, p, soakSource(opt, base, load), soakSize, sopt)
+		}
+	}
+	runParallel(opt.Workers, jobs)
+
+	r := &Report{ID: "soak", Title: fmt.Sprintf("Open-loop soak on clos-%d: %s arrivals over %s, %dus horizon",
+		n, opt.SoakSource, opt.SoakPattern, opt.SoakHorizonUs)}
+
+	us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+	horizon := sim.Duration(opt.SoakHorizonUs) * sim.Microsecond
+	knee := Table{Name: "offered-load ladder", Header: []string{
+		"offered (MB/s/node)", "arrivals", "delivered (MB/s/node)",
+		"p50 (us)", "p99 (us)", "p999 (us)", "backlog@bell", "retrans", "drain (us)"}}
+	for i, load := range loads {
+		res := &results[i]
+		series := res.Series
+		rows := res.ReportWindows()
+		ts := TimeSeries{
+			Name:    fmt.Sprintf("offered %g MB/s per node (%s)", load, res.Pattern),
+			WidthUs: us(series.Width()),
+		}
+		for w := 0; w < rows; w++ {
+			win := series.Window(w)
+			ts.Rows = append(ts.Rows, SeriesRow{
+				StartUs:   us(sim.Duration(series.Start(w))),
+				Offered:   win.Offered,
+				Delivered: win.Delivered,
+				MBps:      float64(win.Bytes) / metrics.MiB / series.Width().Seconds(),
+				P50us:     us(win.Lat.Percentile(0.50)),
+				P99us:     us(win.Lat.Percentile(0.99)),
+				P999us:    us(win.Lat.Percentile(0.999)),
+				InFlight:  series.InFlight(w),
+				Retrans:   win.Retrans,
+			})
+		}
+		r.Series = append(r.Series, ts)
+
+		_, _, bytes, retrans := series.Totals()
+		drain := res.Elapsed - horizon
+		if drain < 0 {
+			drain = 0
+		}
+		knee.Rows = append(knee.Rows, []string{
+			fmt.Sprintf("%g", load),
+			fmt.Sprintf("%d", res.Messages),
+			// Delivered rate over the span it took to deliver: capped at
+			// service capacity however hard the source pushes.
+			fmt.Sprintf("%.2f", float64(bytes)/float64(n)/metrics.MiB/res.Elapsed.Seconds()),
+			fmt.Sprintf("%.1f", us(res.Latency.Percentile(0.50))),
+			fmt.Sprintf("%.1f", us(res.Latency.Percentile(0.99))),
+			fmt.Sprintf("%.1f", us(res.Latency.Percentile(0.999))),
+			fmt.Sprintf("%d", series.InFlight(res.HorizonWindows()-1)),
+			fmt.Sprintf("%d", retrans),
+			fmt.Sprintf("%.0f", us(drain)),
+		})
+	}
+	r.Tables = append(r.Tables, knee)
+
+	r.Notes = append(r.Notes,
+		"open loop: arrivals follow the source's schedule whether or not the system keeps up; latency is sojourn (scheduled arrival to delivery), source-queue wait included",
+		"the knee is where delivered MB/s stops tracking offered MB/s: past it the backlog at the horizon bell and the sojourn p99 grow without bound",
+		fmt.Sprintf("termination: %s — every arrival is still delivered (the drain column is the post-horizon cleanup time)", sopt.Mode),
+		"deterministic: the timeline is computed on the canonical single-kernel engine, so this report is byte-identical at any -workers and -shards setting",
+	)
+	if len(ws) > 0 {
+		r.Notes = append(r.Notes, "fault plan overlaid on every load point (-fault-plan): recovery transients show as delivery dips and retransmit bursts in the windows")
+	}
+	return r
+}

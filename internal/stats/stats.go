@@ -73,7 +73,14 @@ func (h *Histogram) Record(d sim.Duration) {
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.n }
 
-// Mean returns the arithmetic mean of the samples.
+// Empty-histogram contract: every query on a histogram with no samples
+// returns its zero value — Mean, Min, Max, and Percentile (at any p)
+// return 0, Summary returns "no samples", and Bars returns "". Callers
+// may therefore ask without checking Count first; windowed series lean
+// on this, since an idle window's percentiles must print as zeros, not
+// panic or fabricate values. Pinned by TestEmptyHistogramContract.
+
+// Mean returns the arithmetic mean of the samples (0 with no samples).
 func (h *Histogram) Mean() sim.Duration {
 	if h.n == 0 {
 		return 0
@@ -81,14 +88,15 @@ func (h *Histogram) Mean() sim.Duration {
 	return h.sum / sim.Duration(h.n)
 }
 
-// Min returns the smallest recorded sample.
+// Min returns the smallest recorded sample (0 with no samples).
 func (h *Histogram) Min() sim.Duration { return h.min }
 
-// Max returns the largest recorded sample.
+// Max returns the largest recorded sample (0 with no samples).
 func (h *Histogram) Max() sim.Duration { return h.max }
 
 // Percentile returns the value at or below which fraction p (0..1] of
-// samples fall, with the histogram's relative quantization error.
+// samples fall, with the histogram's relative quantization error. With
+// no samples it returns 0 for every p.
 func (h *Histogram) Percentile(p float64) sim.Duration {
 	if h.n == 0 {
 		return 0
@@ -144,7 +152,8 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
-// Summary formats count/mean/p50/p90/p99/max on one line.
+// Summary formats count/mean/p50/p90/p99/max on one line, or "no
+// samples" for an empty histogram.
 func (h *Histogram) Summary() string {
 	if h.n == 0 {
 		return "no samples"

@@ -10,13 +10,41 @@ import (
 	"fm/internal/sim"
 )
 
-func TestEmptyHistogram(t *testing.T) {
+// TestEmptyHistogramContract pins the documented zero-value contract:
+// every query on an empty histogram returns its zero value, so callers
+// (windowed series printing idle windows, drivers summarizing runs with
+// no stampable messages) never have to check Count first.
+func TestEmptyHistogramContract(t *testing.T) {
 	var h Histogram
-	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
 		t.Error("empty histogram not zero-valued")
+	}
+	for _, p := range []float64{-1, 0, 0.5, 0.99, 0.999, 1, 2} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("Percentile(%v) = %v on empty histogram, want 0", p, got)
+		}
 	}
 	if h.Summary() != "no samples" {
 		t.Errorf("summary = %q", h.Summary())
+	}
+	if h.Bars(40) != "" {
+		t.Errorf("Bars = %q on empty histogram, want empty", h.Bars(40))
+	}
+
+	// Merging an empty histogram into a populated one must not disturb
+	// it (in particular not clobber min), and merging into an empty one
+	// must reproduce the source exactly.
+	var empty, pop Histogram
+	pop.Record(5 * sim.Microsecond)
+	before := pop
+	pop.Merge(&empty)
+	if pop != before {
+		t.Error("merging an empty histogram changed the target")
+	}
+	var dst Histogram
+	dst.Merge(&pop)
+	if dst != pop {
+		t.Error("merge into empty histogram did not reproduce the source")
 	}
 }
 

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"fm/internal/core"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+	"fm/internal/stats"
+)
+
+// This file is the drive core every driver shares: the pregeneration
+// prologue (pattern expansion, totals, route hints, hop accounting),
+// the latency-stamp wire format, and the per-rank FM drive body. The
+// public Drive* entry points in driver.go / sharded.go / faultdrive.go
+// / soak.go differ only in which engine they build (single kernel or
+// shard group), which stack level they run, and how they terminate —
+// everything else lives here exactly once.
+
+// sendSize resolves one send's payload size against the driver default.
+func sendSize(s Send, def int) int {
+	if s.Size > 0 {
+		return s.Size
+	}
+	return def
+}
+
+// genAll generates every rank's sends once and accumulates the shared
+// totals: message count, payload bytes, per-rank receive counts, and
+// the buffer size the drivers need.
+func genAll(pat Pattern, n, def int) (sends [][]Send, messages int, bytes int64, expect []int, maxSize int) {
+	sends = make([][]Send, n)
+	expect = make([]int, n)
+	maxSize = def
+	for src := 0; src < n; src++ {
+		sends[src] = pat.Gen(src, n)
+		messages += len(sends[src])
+		for _, s := range sends[src] {
+			sz := sendSize(s, def)
+			bytes += int64(sz)
+			expect[s.Dst]++
+			if sz > maxSize {
+				maxSize = sz
+			}
+		}
+	}
+	return sends, messages, bytes, expect, maxSize
+}
+
+// meanHops computes the pattern's mean switch-crossing count on the
+// fabric: pure routing-table arithmetic, no virtual time.
+func meanHops(f *myrinet.Fabric, sends [][]Send, messages int) float64 {
+	if messages == 0 {
+		return 0
+	}
+	hops := 0
+	for src, list := range sends {
+		for _, s := range list {
+			hops += f.Hops(src, s.Dst)
+		}
+	}
+	return float64(hops) / float64(messages)
+}
+
+// prepare is the prologue every driver runs before simulating: expand
+// the pattern, fill the result's totals, hint the route caches of every
+// fabric replica, and account topological hops. The returned send lists
+// are in canonical rank order; expect is the per-rank receive count.
+func prepare(spec FabricSpec, pat Pattern, size int, fabs ...*myrinet.Fabric) (res Result, sends [][]Send, expect []int, maxSize int) {
+	n := fabs[0].Nodes()
+	res = Result{Pattern: pat.Name(), Fabric: spec.Name}
+	var messages int
+	sends, messages, res.PayloadBytes, expect, maxSize = genAll(pat, n, size)
+	res.Messages = messages
+	hint := spec.RouteHint(n, messages)
+	for _, f := range fabs {
+		f.HintRoutes(hint)
+	}
+	res.MeanHops = meanHops(fabs[0], sends, messages)
+	return res, sends, expect, maxSize
+}
+
+// stamp writes a virtual instant into the payload head so the receiver
+// can compute per-message latency; payloads shorter than the timestamp
+// skip it (the recorded distribution then only covers the stampable
+// messages). Closed-loop drivers stamp the send instant; the open-loop
+// soak driver stamps the scheduled arrival instant, so the receiver's
+// reading includes source-queue sojourn.
+func stamp(buf []byte, now sim.Time) {
+	if len(buf) >= 8 {
+		binary.LittleEndian.PutUint64(buf, uint64(now))
+	}
+}
+
+func stampedAt(payload []byte) (sim.Time, bool) {
+	if len(payload) < 8 {
+		return 0, false
+	}
+	return sim.Time(binary.LittleEndian.Uint64(payload)), true
+}
+
+// waitUntil charges the rank's CPU until the send's earliest injection
+// instant.
+func waitUntil(ep *core.Endpoint, at sim.Duration) {
+	if d := at - sim.Duration(ep.Now()); d > 0 {
+		ep.CPU().Advance(d)
+	}
+}
+
+// fmRank is the per-rank drive body shared by every FM-stack driver
+// (healthy, sharded, faulted): register handler 0 counting deliveries
+// and recording stamped latency into lat, issue the send list paced by
+// each send's At instant while draining incoming traffic, then extract
+// until the expected share has arrived and nothing is outstanding.
+//
+// The two optional hooks are virtual-time-neutral when disabled, so
+// the healthy drivers are byte-identical to their pre-extraction form:
+// a non-nil last tracks the rank's final delivery instant (fault runs
+// measure Elapsed from it), and a settleAt past zero keeps the rank
+// polling after its own traffic completes, so frames bounced its way
+// late (a standalone ack, a strand released at a recovery) are requeued
+// and resent rather than rotting in the receive queue while their
+// original target spins forever.
+func fmRank(ep *core.Endpoint, sends []Send, expect, size int, buf []byte,
+	lat *stats.Histogram, last *sim.Time, settleAt sim.Time) {
+	got := 0
+	ep.RegisterHandler(0, func(src int, payload []byte) {
+		got++
+		if last != nil {
+			if now := ep.Now(); now > *last {
+				*last = now
+			}
+		}
+		if at, ok := stampedAt(payload); ok {
+			lat.Record(ep.Now().Sub(at))
+		}
+	})
+	for _, s := range sends {
+		if s.At > 0 {
+			waitUntil(ep, s.At)
+		}
+		msg := buf[:sendSize(s, size)]
+		stamp(msg, ep.Now())
+		if err := ep.Send(s.Dst, 0, msg); err != nil {
+			panic(err)
+		}
+		ep.Extract() // keep draining while sending
+	}
+	for got < expect || ep.Outstanding() > 0 {
+		ep.WaitIncoming()
+		ep.Extract()
+	}
+	for ep.Now() < settleAt {
+		ep.CPU().Advance(settleQuantum)
+		ep.Extract()
+	}
+}

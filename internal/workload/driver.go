@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"fm/internal/cluster"
@@ -53,51 +52,6 @@ func (r *Result) MBps() float64 {
 		return 0
 	}
 	return float64(r.PayloadBytes) / metrics.MiB / r.Elapsed.Seconds()
-}
-
-// sendSize resolves one send's payload size against the driver default.
-func sendSize(s Send, def int) int {
-	if s.Size > 0 {
-		return s.Size
-	}
-	return def
-}
-
-// genAll generates every rank's sends once and accumulates the shared
-// totals: message count, payload bytes, per-rank receive counts, and
-// the buffer size the drivers need.
-func genAll(pat Pattern, n, def int) (sends [][]Send, messages int, bytes int64, expect []int, maxSize int) {
-	sends = make([][]Send, n)
-	expect = make([]int, n)
-	maxSize = def
-	for src := 0; src < n; src++ {
-		sends[src] = pat.Gen(src, n)
-		messages += len(sends[src])
-		for _, s := range sends[src] {
-			sz := sendSize(s, def)
-			bytes += int64(sz)
-			expect[s.Dst]++
-			if sz > maxSize {
-				maxSize = sz
-			}
-		}
-	}
-	return sends, messages, bytes, expect, maxSize
-}
-
-// meanHops computes the pattern's mean switch-crossing count on the
-// fabric: pure routing-table arithmetic, no virtual time.
-func meanHops(f *myrinet.Fabric, sends [][]Send, messages int) float64 {
-	if messages == 0 {
-		return 0
-	}
-	hops := 0
-	for src, list := range sends {
-		for _, s := range list {
-			hops += f.Hops(src, s.Dst)
-		}
-	}
-	return float64(hops) / float64(messages)
 }
 
 // --- Raw fabric driver ---
@@ -168,11 +122,7 @@ func DriveRaw(spec FabricSpec, p *cost.Params, pat Pattern, size int) Result {
 	f := spec.Build(k, p)
 	n := f.Nodes()
 
-	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
-	sends, messages, bytes, _, maxSize := genAll(pat, n, size)
-	res.Messages, res.PayloadBytes = messages, bytes
-	f.HintRoutes(spec.RouteHint(n, messages))
-	res.MeanHops = meanHops(f, sends, messages)
+	res, sends, _, maxSize := prepare(spec, pat, size, f)
 
 	dr := &rawDrive{k: k, f: f, payload: make([]byte, maxSize), size: size, lat: &res.Latency}
 	for i := 0; i < n; i++ {
@@ -188,40 +138,15 @@ func DriveRaw(spec FabricSpec, p *cost.Params, pat Pattern, size int) Result {
 	if err := k.RunAll(); err != nil {
 		panic(err)
 	}
-	if dr.delivered != messages {
+	if dr.delivered != res.Messages {
 		panic(fmt.Sprintf("workload: %s on %s delivered %d/%d packets",
-			pat.Name(), spec.Name, dr.delivered, messages))
+			pat.Name(), spec.Name, dr.delivered, res.Messages))
 	}
 	res.Elapsed = sim.Duration(dr.last)
 	return res
 }
 
 // --- FM-stack driver ---
-
-// stamp writes the current virtual instant into the payload head so the
-// receiver can compute per-message latency; payloads shorter than the
-// timestamp skip it (the recorded distribution then only covers the
-// stampable messages).
-func stamp(buf []byte, now sim.Time) {
-	if len(buf) >= 8 {
-		binary.LittleEndian.PutUint64(buf, uint64(now))
-	}
-}
-
-func stampedAt(payload []byte) (sim.Time, bool) {
-	if len(payload) < 8 {
-		return 0, false
-	}
-	return sim.Time(binary.LittleEndian.Uint64(payload)), true
-}
-
-// waitUntil charges the rank's CPU until the send's earliest injection
-// instant.
-func waitUntil(ep *core.Endpoint, at sim.Duration) {
-	if d := at - sim.Duration(ep.Now()); d > 0 {
-		ep.CPU().Advance(d)
-	}
-}
 
 // DriveFM runs the pattern through the complete FM 1.0 stack (hosts,
 // SBus, LANai, LCP, flow control on every node) on the spec's fabric
@@ -233,11 +158,7 @@ func DriveFM(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, size
 	c := cluster.NewFMFrom(spec.Build, cfg, p)
 	n := c.Fab.Nodes()
 
-	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
-	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
-	res.Messages, res.PayloadBytes = messages, bytes
-	c.Fab.HintRoutes(spec.RouteHint(n, messages))
-	res.MeanHops = meanHops(c.Fab, sends, messages)
+	res, sends, expect, maxSize := prepare(spec, pat, size, c.Fab)
 
 	// One pre-sized slab instead of one send buffer per rank: at scale
 	// (the 4096-node sweep) per-rank allocations are pure overhead.
@@ -245,29 +166,8 @@ func DriveFM(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, size
 	for id := 0; id < n; id++ {
 		id := id
 		c.Start(id, func(ep *core.Endpoint) {
-			got := 0
-			ep.RegisterHandler(0, func(src int, payload []byte) {
-				got++
-				if at, ok := stampedAt(payload); ok {
-					res.Latency.Record(ep.Now().Sub(at))
-				}
-			})
-			buf := slab[id*maxSize : (id+1)*maxSize]
-			for _, s := range sends[id] {
-				if s.At > 0 {
-					waitUntil(ep, s.At)
-				}
-				msg := buf[:sendSize(s, size)]
-				stamp(msg, ep.Now())
-				if err := ep.Send(s.Dst, 0, msg); err != nil {
-					panic(err)
-				}
-				ep.Extract() // keep draining while sending
-			}
-			for got < expect[id] || ep.Outstanding() > 0 {
-				ep.WaitIncoming()
-				ep.Extract()
-			}
+			fmRank(ep, sends[id], expect[id], size, slab[id*maxSize:(id+1)*maxSize],
+				&res.Latency, nil, 0)
 		})
 	}
 	if err := c.Run(); err != nil {
@@ -293,11 +193,7 @@ func DriveMPI(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, siz
 	c := cluster.NewFMFrom(spec.Build, cfg, p)
 	n := c.Fab.Nodes()
 
-	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
-	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
-	res.Messages, res.PayloadBytes = messages, bytes
-	c.Fab.HintRoutes(spec.RouteHint(n, messages))
-	res.MeanHops = meanHops(c.Fab, sends, messages)
+	res, sends, expect, maxSize := prepare(spec, pat, size, c.Fab)
 
 	slab := make([]byte, n*maxSize)
 	for id := 0; id < n; id++ {

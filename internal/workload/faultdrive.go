@@ -68,45 +68,10 @@ func settleTime(ws []myrinet.FaultWindow, retry sim.Duration) sim.Time {
 	return last.Add(myrinet.DetectLag + 8*retry + settleSlack)
 }
 
-// faultRank is the per-rank driver body shared by the single-kernel and
-// sharded fault drivers.
-func faultRank(ep *core.Endpoint, sends []Send, expect, size int, buf []byte,
-	lat *stats.Histogram, last *sim.Time, settleAt sim.Time) {
-	got := 0
-	ep.RegisterHandler(0, func(src int, payload []byte) {
-		got++
-		if now := ep.Now(); now > *last {
-			*last = now
-		}
-		if at, ok := stampedAt(payload); ok {
-			lat.Record(ep.Now().Sub(at))
-		}
-	})
-	for _, s := range sends {
-		if s.At > 0 {
-			waitUntil(ep, s.At)
-		}
-		msg := buf[:sendSize(s, size)]
-		stamp(msg, ep.Now())
-		if err := ep.Send(s.Dst, 0, msg); err != nil {
-			panic(err)
-		}
-		ep.Extract()
-	}
-	for got < expect || ep.Outstanding() > 0 {
-		ep.WaitIncoming()
-		ep.Extract()
-	}
-	// Late-bounce service: a standalone ack this rank sent may still be
-	// bounced back to it (or released from a strand at a recovery) after
-	// its own traffic is complete. Poll until the settle horizon so any
-	// such frame is requeued and resent rather than rotting in the
-	// receive queue while its original target spins forever.
-	for ep.Now() < settleAt {
-		ep.CPU().Advance(settleQuantum)
-		ep.Extract()
-	}
-}
+// The per-rank drive body is fmRank (drivecore.go) with the last-
+// delivery hook and the settle horizon enabled: faulted runs measure
+// Elapsed from the last handler dispatch, and every rank polls past the
+// final recovery so late bounces drain.
 
 // DriveFMFaults runs the pattern through the full FM stack with the
 // compiled fault timeline installed on the fabric. An empty timeline
@@ -118,11 +83,8 @@ func DriveFMFaults(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern
 	n := c.Fab.Nodes()
 	c.Fab.ApplyFaults(ws)
 
-	res := FaultResult{Result: Result{Pattern: pat.Name(), Fabric: spec.Name}}
-	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
-	res.Messages, res.PayloadBytes = messages, bytes
-	c.Fab.HintRoutes(spec.RouteHint(n, messages))
-	res.MeanHops = meanHops(c.Fab, sends, messages)
+	base, sends, expect, maxSize := prepare(spec, pat, size, c.Fab)
+	res := FaultResult{Result: base}
 	settleAt := settleTime(ws, cfg.RetryDelay)
 
 	slab := make([]byte, n*maxSize)
@@ -130,7 +92,7 @@ func DriveFMFaults(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern
 	for id := 0; id < n; id++ {
 		id := id
 		c.Start(id, func(ep *core.Endpoint) {
-			faultRank(ep, sends[id], expect[id], size, slab[id*maxSize:(id+1)*maxSize],
+			fmRank(ep, sends[id], expect[id], size, slab[id*maxSize:(id+1)*maxSize],
 				&res.Latency, &lasts[id], settleAt)
 		})
 	}
@@ -170,13 +132,8 @@ func DriveFMFaultsSharded(spec FabricSpec, cfg core.Config, p *cost.Params, pat 
 		f.ApplyFaults(ws)
 	}
 
-	res := FaultResult{Result: Result{Pattern: pat.Name(), Fabric: spec.Name}}
-	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
-	res.Messages, res.PayloadBytes = messages, bytes
-	for _, f := range c.Fabs {
-		f.HintRoutes(spec.RouteHint(n, messages))
-	}
-	res.MeanHops = meanHops(c.Fabs[0], sends, messages)
+	base, sends, expect, maxSize := prepare(spec, pat, size, c.Fabs...)
+	res := FaultResult{Result: base}
 	settleAt := settleTime(ws, cfg.RetryDelay)
 
 	slab := make([]byte, n*maxSize)
@@ -184,10 +141,9 @@ func DriveFMFaultsSharded(spec FabricSpec, cfg core.Config, p *cost.Params, pat 
 	hists := make([]stats.Histogram, shards)
 	for id := 0; id < n; id++ {
 		id := id
-		lat := &hists[c.Part.NodeShard[id]]
 		c.Start(id, func(ep *core.Endpoint) {
-			faultRank(ep, sends[id], expect[id], size, slab[id*maxSize:(id+1)*maxSize],
-				lat, &lasts[id], settleAt)
+			fmRank(ep, sends[id], expect[id], size, slab[id*maxSize:(id+1)*maxSize],
+				&hists[c.Part.NodeShard[id]], &lasts[id], settleAt)
 		})
 	}
 	if err := c.Run(); err != nil {

@@ -70,13 +70,7 @@ func DriveRawSharded(spec FabricSpec, p *cost.Params, pat Pattern, size, shards 
 	fabs, part := shardedFabrics(spec, p, g)
 	n := fabs[0].Nodes()
 
-	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
-	sends, messages, bytes, _, maxSize := genAll(pat, n, size)
-	res.Messages, res.PayloadBytes = messages, bytes
-	for _, f := range fabs {
-		f.HintRoutes(spec.RouteHint(n, messages))
-	}
-	res.MeanHops = meanHops(fabs[0], sends, messages)
+	res, sends, _, maxSize := prepare(spec, pat, size, fabs...)
 
 	// One shared read-only payload buffer; per-shard drive state so no
 	// counter is touched by two kernels.
@@ -110,9 +104,9 @@ func DriveRawSharded(spec FabricSpec, p *cost.Params, pat Pattern, size, shards 
 			last = dr.last
 		}
 	}
-	if delivered != messages {
+	if delivered != res.Messages {
 		panic(fmt.Sprintf("workload: %s on %s delivered %d/%d packets",
-			pat.Name(), spec.Name, delivered, messages))
+			pat.Name(), spec.Name, delivered, res.Messages))
 	}
 	mergeLatency(&res, hists)
 	res.Elapsed = sim.Duration(last)
@@ -134,13 +128,7 @@ func DriveFMSharded(spec FabricSpec, cfg core.Config, p *cost.Params, pat Patter
 	}
 	n := len(c.EPs)
 
-	res := Result{Pattern: pat.Name(), Fabric: spec.Name}
-	sends, messages, bytes, expect, maxSize := genAll(pat, n, size)
-	res.Messages, res.PayloadBytes = messages, bytes
-	for _, f := range c.Fabs {
-		f.HintRoutes(spec.RouteHint(n, messages))
-	}
-	res.MeanHops = meanHops(c.Fabs[0], sends, messages)
+	res, sends, expect, maxSize := prepare(spec, pat, size, c.Fabs...)
 
 	// The slab is shared across shards but each rank writes only its
 	// own disjoint slice; latency histograms are per shard and merged
@@ -149,31 +137,9 @@ func DriveFMSharded(spec FabricSpec, cfg core.Config, p *cost.Params, pat Patter
 	hists := make([]stats.Histogram, shards)
 	for id := 0; id < n; id++ {
 		id := id
-		lat := &hists[c.Part.NodeShard[id]]
 		c.Start(id, func(ep *core.Endpoint) {
-			got := 0
-			ep.RegisterHandler(0, func(src int, payload []byte) {
-				got++
-				if at, ok := stampedAt(payload); ok {
-					lat.Record(ep.Now().Sub(at))
-				}
-			})
-			buf := slab[id*maxSize : (id+1)*maxSize]
-			for _, s := range sends[id] {
-				if s.At > 0 {
-					waitUntil(ep, s.At)
-				}
-				msg := buf[:sendSize(s, size)]
-				stamp(msg, ep.Now())
-				if err := ep.Send(s.Dst, 0, msg); err != nil {
-					panic(err)
-				}
-				ep.Extract() // keep draining while sending
-			}
-			for got < expect[id] || ep.Outstanding() > 0 {
-				ep.WaitIncoming()
-				ep.Extract()
-			}
+			fmRank(ep, sends[id], expect[id], size, slab[id*maxSize:(id+1)*maxSize],
+				&hists[c.Part.NodeShard[id]], nil, 0)
 		})
 	}
 	if err := c.Run(); err != nil {

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+
+	"fm/internal/cluster"
+	"fm/internal/core"
+	"fm/internal/cost"
+	"fm/internal/myrinet"
+	"fm/internal/sim"
+	"fm/internal/stats"
+)
+
+// Soak driver: the streaming counterpart of DriveFM. A batch drive
+// injects everything as fast as the layers allow and reports one
+// summary; a soak drive runs an open-loop Source against the full FM
+// stack and folds the run into fixed-width virtual-time windows
+// (stats.Series), so saturation knees, transient congestion, and
+// fault-recovery dips are visible as a timeline instead of being
+// averaged away.
+//
+// Latency semantics change with the loop: the payload stamp carries the
+// *scheduled arrival* instant, not the send instant, so the receiver's
+// reading is the sojourn time — source-queue wait included. Below the
+// knee sojourn tracks service latency; past it the backlog grows for as
+// long as the source keeps offering, and the windowed p99 blows up.
+// That is the signature the batch drivers structurally cannot show.
+//
+// The soak timeline is always computed on the canonical single-kernel
+// engine. Sharded execution is deterministic for a fixed shard count,
+// but under contention it grants switch output ports in merged
+// head-arrival order where the single kernel grants them in injection
+// order, so a contended timeline is not shard-invariant — and a
+// saturation study is contended by definition. Running the one
+// canonical engine is what makes `fmbench -experiment soak` output
+// byte-identical at any accepted -shards value.
+
+// TerminationMode selects how much of the timeline a soak run reports.
+type TerminationMode int
+
+const (
+	// TerminateDrain reports the full timeline through quiescence: the
+	// windows past the source horizon show the backlog draining, and
+	// the timeline length therefore depends on offered load.
+	TerminateDrain TerminationMode = iota
+	// TerminateHorizon fixes the observation span: exactly the windows
+	// covering [0, horizon) are reported, whatever the load. The drive
+	// still drains to empty after the bell — every scheduled arrival is
+	// delivered and counted in the totals — but post-horizon windows
+	// are not part of the reported series, so sweep tables keep one
+	// shape across loads.
+	TerminateHorizon
+)
+
+func (m TerminationMode) String() string {
+	if m == TerminateHorizon {
+		return "horizon"
+	}
+	return "drain"
+}
+
+// SoakOptions configures the windowing of a soak drive.
+type SoakOptions struct {
+	// Width is the virtual-time window width (required, positive).
+	Width sim.Duration
+	// Mode picks the reported span; the zero value is TerminateDrain.
+	Mode TerminationMode
+	// Faults, when non-empty, is a compiled fault timeline installed on
+	// the fabric before traffic starts, so recovery transients (delivery
+	// dips, retransmit bursts, sojourn spikes) show up in the windowed
+	// series. Ranks then stay alive polling until the settle horizon
+	// past the last recovery, exactly like the fault drivers.
+	Faults []myrinet.FaultWindow
+}
+
+// SoakResult is a Result plus the windowed timeline.
+type SoakResult struct {
+	Result
+	// Series is the windowed timeline: offered arrivals, deliveries
+	// with sojourn-latency histograms, payload bytes, retransmits. It
+	// always spans at least the source horizon (idle tail included) and
+	// extends through quiescence.
+	Series *stats.Series
+	// Horizon is the source's arrival span.
+	Horizon sim.Duration
+	// Mode is the termination mode the run was asked for.
+	Mode TerminationMode
+}
+
+// HorizonWindows returns the number of windows covering [0, Horizon).
+func (r *SoakResult) HorizonWindows() int {
+	w := sim.Time(r.Series.Width())
+	return int((sim.Time(r.Horizon) + w - 1) / w)
+}
+
+// ReportWindows returns how many leading windows the termination mode
+// exposes: every window through quiescence under TerminateDrain, the
+// fixed horizon span under TerminateHorizon.
+func (r *SoakResult) ReportWindows() int {
+	if r.Mode == TerminateHorizon {
+		return r.HorizonWindows()
+	}
+	return r.Series.Len()
+}
+
+// soakRank is the per-rank body of a soak drive: fmRank's loop with the
+// open-loop stamp (scheduled arrival, not send instant), per-window
+// delivery recording, and retransmit-delta attribution after every
+// extract. Ranks on one kernel run as coroutines, so sharing one Series
+// is deterministic.
+func soakRank(ep *core.Endpoint, sends []Send, expect, size int, buf []byte,
+	series *stats.Series, settleAt sim.Time) {
+	got := 0
+	var seenRetrans uint64
+	poll := func() {
+		if r := ep.Stats().Retransmits; r > seenRetrans {
+			series.Retransmits(ep.Now(), r-seenRetrans)
+			seenRetrans = r
+		}
+	}
+	ep.RegisterHandler(0, func(src int, payload []byte) {
+		got++
+		if at, ok := stampedAt(payload); ok {
+			series.Delivery(ep.Now(), ep.Now().Sub(at), len(payload))
+		}
+	})
+	for _, s := range sends {
+		// Poll-wait to the scheduled arrival: unlike the batch drivers'
+		// blind waitUntil, an idle open-loop rank keeps extracting, so a
+		// lightly loaded receiver's sojourn reflects service latency and
+		// not the gap to its own next send.
+		for sim.Duration(ep.Now()) < s.At {
+			d := s.At - sim.Duration(ep.Now())
+			if d > settleQuantum {
+				d = settleQuantum
+			}
+			ep.CPU().Advance(d)
+			ep.Extract()
+			poll()
+		}
+		msg := buf[:sendSize(s, size)]
+		stamp(msg, sim.Time(s.At))
+		if err := ep.Send(s.Dst, 0, msg); err != nil {
+			panic(err)
+		}
+		ep.Extract()
+		poll()
+	}
+	for got < expect || ep.Outstanding() > 0 {
+		ep.WaitIncoming()
+		ep.Extract()
+		poll()
+	}
+	for ep.Now() < settleAt {
+		ep.CPU().Advance(settleQuantum)
+		ep.Extract()
+		poll()
+	}
+}
+
+// SoakDriveFM runs an open-loop source through the complete FM 1.0
+// stack on the spec's fabric and returns the windowed timeline. Every
+// scheduled arrival is delivered before the drive returns (the drain
+// guarantee all FM drivers share); the termination mode only selects
+// how much of the timeline ReportWindows exposes. Panics if any
+// message cannot carry the 8-byte stamp — a soak without sojourn
+// readings has no timeline to report.
+func SoakDriveFM(spec FabricSpec, cfg core.Config, p *cost.Params, src Source, size int, opt SoakOptions) SoakResult {
+	c := cluster.NewFMFrom(spec.Build, cfg, p)
+	n := c.Fab.Nodes()
+	c.Fab.ApplyFaults(opt.Faults)
+	settleAt := settleTime(opt.Faults, cfg.RetryDelay)
+
+	base, sends, expect, maxSize := prepare(spec, src, size, c.Fab)
+	res := SoakResult{Result: base, Horizon: src.SourceHorizon(), Mode: opt.Mode}
+	series := stats.NewSeries(opt.Width)
+	res.Series = series
+
+	// The offered schedule is a property of the source alone — record
+	// it before the simulation so arrival windows never depend on how
+	// service unfolded.
+	for _, list := range sends {
+		for _, s := range list {
+			if sendSize(s, size) < 8 {
+				panic(fmt.Sprintf("workload: soak %s on %s: payload %d bytes cannot carry the arrival stamp",
+					src.Name(), spec.Name, sendSize(s, size)))
+			}
+			series.Arrival(sim.Time(s.At))
+		}
+	}
+
+	slab := make([]byte, n*maxSize)
+	for id := 0; id < n; id++ {
+		id := id
+		c.Start(id, func(ep *core.Endpoint) {
+			soakRank(ep, sends[id], expect[id], size, slab[id*maxSize:(id+1)*maxSize], series, settleAt)
+		})
+	}
+	if err := c.Run(); err != nil {
+		panic(err)
+	}
+	res.Elapsed = sim.Duration(c.K.Now())
+
+	_, delivered, _, _ := series.Totals()
+	if int(delivered) != res.Messages {
+		panic(fmt.Sprintf("workload: soak %s on %s delivered %d/%d messages",
+			src.Name(), spec.Name, delivered, res.Messages))
+	}
+	if stranded := c.Fab.PendingStranded(); stranded != 0 {
+		panic(fmt.Sprintf("workload: soak %s on %s left %d frames stranded",
+			src.Name(), spec.Name, stranded))
+	}
+	for i := 0; i < series.Len(); i++ {
+		res.Latency.Merge(&series.Window(i).Lat)
+	}
+	series.Extend(res.HorizonWindows())
+	return res
+}
