@@ -9,12 +9,16 @@
 //	go run ./cmd/benchcheck [-baselines 'BENCH_*.json'] [-threshold 1.25] bench.out
 //
 // Wall-clock ns/op is deliberately not gated — CI machines vary too
-// much — but allocs/op is deterministic for these benchmarks, so any
-// growth beyond the threshold is a real regression in the engine's
-// pooling/reuse discipline (see DESIGN.md "Performance").
+// much — but allocs/op and B/op are deterministic for these
+// benchmarks, so any growth beyond the threshold is a real regression
+// in the engine's pooling/reuse discipline (see DESIGN.md
+// "Performance"). B/op is gated per benchmark: only once its baseline
+// commits a bytes_per_op figure, so pre-existing baselines keep
+// gating allocs alone.
 //
 // Baseline schema: each BENCH_*.json holds {"benchmarks": [{"name":
-// ..., then either "after" or "baseline": {"allocs_per_op": N}}]}.
+// ..., then either "after" or "baseline": {"allocs_per_op": N,
+// "bytes_per_op": M}}]} (bytes_per_op optional).
 // When several files name the same benchmark, the newest baseline
 // wins; files are ordered shortest-name-first, then lexicographically,
 // so BENCH_pr10.json correctly sorts after BENCH_pr5.json.
@@ -36,6 +40,11 @@ import (
 type entry struct {
 	file   string
 	allocs float64
+	// bytes gates B/op when the baseline carries bytes_per_op; hasBytes
+	// false means the benchmark predates byte gating and only allocs
+	// are checked.
+	bytes    float64
+	hasBytes bool
 }
 
 // loadBaselines walks the glob in name order and collects every
@@ -62,31 +71,36 @@ func loadBaselines(glob string) (map[string]entry, error) {
 		if err != nil {
 			return nil, err
 		}
+		type measure struct {
+			Allocs *float64 `json:"allocs_per_op"`
+			Bytes  *float64 `json:"bytes_per_op"`
+		}
 		var doc struct {
 			Benchmarks []struct {
-				Name  string `json:"name"`
-				After *struct {
-					Allocs *float64 `json:"allocs_per_op"`
-				} `json:"after"`
-				Baseline *struct {
-					Allocs *float64 `json:"allocs_per_op"`
-				} `json:"baseline"`
+				Name     string   `json:"name"`
+				After    *measure `json:"after"`
+				Baseline *measure `json:"baseline"`
 			} `json:"benchmarks"`
 		}
 		if err := json.Unmarshal(raw, &doc); err != nil {
 			return nil, fmt.Errorf("%s: %v", f, err)
 		}
 		for _, b := range doc.Benchmarks {
-			var allocs *float64
+			var m *measure
 			switch {
 			case b.After != nil && b.After.Allocs != nil:
-				allocs = b.After.Allocs
+				m = b.After
 			case b.Baseline != nil && b.Baseline.Allocs != nil:
-				allocs = b.Baseline.Allocs
+				m = b.Baseline
 			}
-			if b.Name != "" && allocs != nil {
-				base[b.Name] = entry{file: f, allocs: *allocs}
+			if b.Name == "" || m == nil {
+				continue
 			}
+			e := entry{file: f, allocs: *m.Allocs}
+			if m.Bytes != nil {
+				e.bytes, e.hasBytes = *m.Bytes, true
+			}
+			base[b.Name] = e
 		}
 	}
 	if len(base) == 0 {
@@ -97,6 +111,10 @@ func loadBaselines(glob string) (map[string]entry, error) {
 
 // benchLine matches `BenchmarkName-8   100   12345 ns/op ... 17 allocs/op`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s.*?([\d.]+)\s+allocs/op`)
+
+// bytesField extracts the B/op column; it is matched separately from
+// benchLine so benchmarks that predate byte gating still parse.
+var bytesField = regexp.MustCompile(`(\S+)\s+B/op`)
 
 // check scans `go test -bench` output against the baselines, writing
 // one verdict line per gated benchmark, and returns the process exit
@@ -133,6 +151,33 @@ func check(in io.Reader, out, errw io.Writer, base map[string]entry, threshold f
 		} else {
 			fmt.Fprintf(out, "ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, got, b.allocs, limit)
 		}
+
+		// Bytes/op rides the same gate once a baseline commits to it:
+		// same threshold, and a gated line whose B/op column is missing
+		// or unreadable fails loudly rather than dropping the check.
+		if !b.hasBytes {
+			continue
+		}
+		bm := bytesField.FindStringSubmatch(sc.Text())
+		if bm == nil {
+			failed++
+			fmt.Fprintf(out, "FAIL %s: baseline gates bytes_per_op but the benchmark line has no B/op column\n", name)
+			continue
+		}
+		gotB, err := strconv.ParseFloat(bm[1], 64)
+		if err != nil {
+			failed++
+			fmt.Fprintf(out, "FAIL %s: unreadable B/op %q in the benchmark output\n", name, bm[1])
+			continue
+		}
+		limitB := b.bytes * threshold
+		if gotB > limitB {
+			failed++
+			fmt.Fprintf(out, "FAIL %s: %.0f B/op exceeds %.0f (baseline %.0f in %s, threshold x%.2f)\n",
+				name, gotB, limitB, b.bytes, b.file, threshold)
+		} else {
+			fmt.Fprintf(out, "ok   %s: %.0f B/op (baseline %.0f, limit %.0f)\n", name, gotB, b.bytes, limitB)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(errw, "benchcheck: reading input: %v\n", err)
@@ -161,7 +206,7 @@ func check(in io.Reader, out, errw io.Writer, base map[string]entry, threshold f
 	if failed > 0 {
 		return 1
 	}
-	fmt.Fprintf(out, "benchcheck: %d benchmark(s) within the x%.2f allocation budget\n", checked, threshold)
+	fmt.Fprintf(out, "benchcheck: %d benchmark(s) within the x%.2f allocation/byte budget\n", checked, threshold)
 	return 0
 }
 

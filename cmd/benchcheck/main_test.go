@@ -102,6 +102,53 @@ func TestUnreadableAllocsFails(t *testing.T) {
 	}
 }
 
+// bytesBase is a baseline that commits to both allocs and bytes.
+func bytesBase(t *testing.T) map[string]entry {
+	t.Helper()
+	return baselines(t, map[string]string{
+		"BENCH_pr1.json": `{"benchmarks":[{"name":"BenchmarkDrive","after":{"allocs_per_op":40,"bytes_per_op":2048}}]}`,
+	})
+}
+
+func TestBytesWithinBudgetPasses(t *testing.T) {
+	code, out := runCheck(bytesBase(t), "BenchmarkDrive-8  100  12345 ns/op  2100 B/op  40 allocs/op\n", false)
+	if code != 0 || !strings.Contains(out, "ok   BenchmarkDrive: 2100 B/op (baseline 2048, limit 2560)") {
+		t.Fatalf("code = %d, out:\n%s", code, out)
+	}
+}
+
+func TestBytesRegressionFails(t *testing.T) {
+	code, out := runCheck(bytesBase(t), "BenchmarkDrive-8  100  12345 ns/op  4096 B/op  40 allocs/op\n", false)
+	if code != 1 || !strings.Contains(out, "FAIL BenchmarkDrive: 4096 B/op exceeds 2560") {
+		t.Fatalf("code = %d, out:\n%s", code, out)
+	}
+}
+
+// A baseline that gates bytes must not let the check drop out when the
+// benchmark line omits or garbles the B/op column.
+func TestBytesMissingOrUnreadableFails(t *testing.T) {
+	code, out := runCheck(bytesBase(t), "BenchmarkDrive-8  100  12345 ns/op  40 allocs/op\n", false)
+	if code != 1 || !strings.Contains(out, "FAIL BenchmarkDrive: baseline gates bytes_per_op but the benchmark line has no B/op column") {
+		t.Fatalf("missing column: code = %d, out:\n%s", code, out)
+	}
+	code, out = runCheck(bytesBase(t), "BenchmarkDrive-8  100  12345 ns/op  1.2.3 B/op  40 allocs/op\n", false)
+	if code != 1 || !strings.Contains(out, `FAIL BenchmarkDrive: unreadable B/op "1.2.3"`) {
+		t.Fatalf("unreadable column: code = %d, out:\n%s", code, out)
+	}
+}
+
+// A baseline without bytes_per_op keeps gating allocs alone, whatever
+// the run's B/op column says.
+func TestBytesUngatedWithoutBaseline(t *testing.T) {
+	base := baselines(t, map[string]string{
+		"BENCH_pr1.json": `{"benchmarks":[{"name":"BenchmarkDrive","after":{"allocs_per_op":40}}]}`,
+	})
+	code, out := runCheck(base, "BenchmarkDrive-8  100  12345 ns/op  999999 B/op  40 allocs/op\n", false)
+	if code != 0 || strings.Contains(out, "B/op (baseline") {
+		t.Fatalf("code = %d, out:\n%s", code, out)
+	}
+}
+
 func TestNoGatedBenchmarksFails(t *testing.T) {
 	base := baselines(t, map[string]string{
 		"BENCH_pr1.json": `{"benchmarks":[{"name":"BenchmarkDrive","after":{"allocs_per_op":40}}]}`,

@@ -9,6 +9,7 @@
 //	fmbench [-experiment all|fig3|fig4|fig7|fig8|fig9|table4|headline|ablations|fabrics|mpi|patterns|scale|faults|soak]
 //	        [-paper-exact] [-packets N] [-rounds N] [-workers N] [-shards N]
 //	        [-fabric-nodes N] [-pattern-nodes N] [-scale-nodes LIST]
+//	        [-scale-pattern all-to-all|neighbor]
 //	        [-fault-seed N] [-fault-plan PLAN] [-fault-nodes N]
 //	        [-soak-source poisson|fixed] [-soak-pattern NAME] [-soak-nodes N]
 //	        [-soak-loads LIST] [-soak-horizon-us N] [-soak-window-us N]
@@ -61,11 +62,16 @@
 // canonical single-kernel engine, so soak output is byte-identical at
 // any -workers and -shards setting.
 //
-// -timing appends one wall-clock line per experiment (off by default,
-// so default outputs stay byte-identical run to run); -scale-nodes
-// caps or extends the scale sweep (comma-separated node counts);
-// -cpuprofile/-memprofile write pprof profiles of the run for
-// hot-path work on the simulator itself.
+// -timing appends a wall-clock line and a memory line (Go heap high
+// water plus peak RSS where /proc exposes it) per experiment (off by
+// default, so default outputs stay byte-identical run to run);
+// -scale-nodes caps or extends the scale sweep (comma-separated node
+// counts) and -scale-pattern switches its raw and FM legs between
+// all-to-all (default, byte-identical to prior releases) and the
+// linear-volume neighbor pattern that makes 16k+ points quick; both
+// are validated against the Clos geometry checks before the first
+// sweep point runs. -cpuprofile/-memprofile write pprof profiles of
+// the run for hot-path work on the simulator itself.
 //
 // -list prints every registered experiment id with its one-line
 // description and exits. `-experiment all` runs the paper set;
@@ -94,6 +100,48 @@ func main() {
 	os.Exit(run())
 }
 
+// memLine summarizes the process footprint for the -timing trailer:
+// the Go heap's high-water reservation (HeapSys is what the runtime
+// has taken from the OS for heap spans — a stable high-water figure,
+// unlike the GC-cyclic HeapAlloc) and the kernel's peak-RSS reading.
+// Cumulative across experiments, like peak RSS inherently is; for a
+// per-experiment ceiling, run that experiment alone. Never part of
+// default output, so byte-identity is unaffected.
+func memLine() string {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	line := fmt.Sprintf("%8.1f MB Go heap sys", float64(ms.HeapSys)/(1<<20))
+	if kb, ok := peakRSSKB(); ok {
+		line += fmt.Sprintf(", %.1f MB peak RSS", float64(kb)/1024)
+	}
+	return line
+}
+
+// peakRSSKB reads the process's high-water resident set from
+// /proc/self/status (VmHWM). Absent on non-Linux hosts; the caller
+// just omits the figure.
+func peakRSSKB() (int64, bool) {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb, true
+	}
+	return 0, false
+}
+
 func run() int {
 	exp := flag.String("experiment", "all", "comma-separated experiment ids (all, "+strings.Join(bench.IDs(), ", ")+")")
 	paperExact := flag.Bool("paper-exact", false, "use the paper's measurement lengths (65,535 packets per point)")
@@ -104,6 +152,7 @@ func run() int {
 	fabricNodes := flag.Int("fabric-nodes", 0, "override node count for the fabrics experiment (default 64)")
 	patternNodes := flag.Int("pattern-nodes", 0, "override node count for the patterns experiment (default 32)")
 	scaleNodes := flag.String("scale-nodes", "", "override the scale sweep's node counts (comma-separated, e.g. 64,256,1024)")
+	scalePattern := flag.String("scale-pattern", "", "traffic pattern for the scale sweep's raw and FM legs (all-to-all or neighbor; default all-to-all)")
 	faultSeed := flag.Uint64("fault-seed", 1995, "the faults experiment's plan seed (0 = empty plan, inject nothing)")
 	faultPlan := flag.String("fault-plan", "", "explicit fault plan for the faults experiment (\"kind index startUs endUs; ...\"), overrides -fault-seed; the soak experiment overlays it on every load point")
 	faultNodes := flag.Int("fault-nodes", 0, "override node count for the faults experiment (default 32)")
@@ -163,6 +212,9 @@ func run() int {
 			nodes = append(nodes, n)
 		}
 		opt.ScaleNodes = nodes
+	}
+	if *scalePattern != "" {
+		opt.ScalePattern = *scalePattern
 	}
 	opt.FaultSeed = *faultSeed
 	opt.FaultPlan = *faultPlan
@@ -246,6 +298,15 @@ func run() int {
 			return 2
 		}
 	}
+	// Validate the scale sweep (pattern name, every -scale-nodes entry's
+	// derived Clos geometry) before anything runs: a bad point at the
+	// end of the list must not cost the hours-long points before it.
+	if seen["scale"] {
+		if err := bench.ValidateScale(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "fmbench: %v\n", err)
+			return 2
+		}
+	}
 	// Validate the fault plan (text shape, component indices, window
 	// sanity against the chosen fabric) the same way. When only the soak
 	// experiment consumes the plan, ValidateSoak above has already
@@ -314,7 +375,8 @@ func run() int {
 		elapsed := time.Since(start)
 		report.WriteText(os.Stdout)
 		if *timing {
-			fmt.Printf("timing: %-10s %8.2fs wall\n\n", e.ID, elapsed.Seconds())
+			fmt.Printf("timing: %-10s %8.2fs wall\n", e.ID, elapsed.Seconds())
+			fmt.Printf("memory: %-10s %s\n\n", e.ID, memLine())
 		}
 		if *csvDir != "" {
 			if err := report.WriteCSV(*csvDir); err != nil {

@@ -48,6 +48,11 @@ type Options struct {
 	PatternNodes int
 	// ScaleNodes is the Clos node-count sweep for the scale experiment.
 	ScaleNodes []int
+	// ScalePattern names the traffic pattern the scale sweep's raw and
+	// FM legs drive (see scalePattern for the catalog; default
+	// all-to-all, whose output is byte-identical to builds predating
+	// the knob). The bisection leg always runs bisection traffic.
+	ScalePattern string
 	// Shards splits each scale-experiment simulation across this many
 	// shard kernels (conservative parallel DES; DESIGN.md "Parallel
 	// engine"). 1, the default, is the single-kernel path and stays
@@ -105,6 +110,7 @@ func DefaultOptions() Options {
 		FabricNodes:  64,
 		PatternNodes: 32,
 		ScaleNodes:   []int{64, 128, 256, 512, 1024, 2048, 4096},
+		ScalePattern: "all-to-all",
 		Shards:       1,
 		FaultNodes:   32,
 		FaultSeed:    1995,

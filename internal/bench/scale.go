@@ -7,6 +7,7 @@ import (
 	"fm/internal/core"
 	"fm/internal/cost"
 	"fm/internal/metrics"
+	"fm/internal/myrinet"
 	"fm/internal/sim"
 	"fm/internal/workload"
 )
@@ -40,11 +41,62 @@ func scaleSpec(n int) workload.FabricSpec {
 	return spec
 }
 
+// scalePattern resolves the sweep's main traffic pattern. The catalog
+// is deliberately small: all-to-all is the historical default (its
+// labels and volume are byte-identical to builds predating the knob),
+// and neighbor is the light structured pattern that makes very large
+// points — 16k nodes and past — tractable, since its message count
+// grows linearly in N instead of quadratically. The returned desc
+// phrase slots into the report notes ("<desc> ... per node").
+func scalePattern(name string) (pat workload.Pattern, desc string, err error) {
+	switch name {
+	case "", "all-to-all":
+		return workload.AllToAll{Rounds: 1}, "one all-to-all round", nil
+	case "neighbor":
+		return workload.Neighbor{Rounds: 16, Wrap: true}, "16 wrapped neighbor rounds", nil
+	}
+	return nil, "", fmt.Errorf("unknown -scale-pattern %q (valid: all-to-all, neighbor)", name)
+}
+
+// ValidateScale checks the scale sweep's configuration before anything
+// runs: the pattern name must be in the catalog, and every node count
+// must derive a Clos geometry the fabric layer can actually build
+// (myrinet.ClosCheck) — so a bad point at the end of -scale-nodes
+// cannot cost the long points before it.
+func ValidateScale(opt Options) error {
+	if _, _, err := scalePattern(opt.ScalePattern); err != nil {
+		return err
+	}
+	nodes := opt.ScaleNodes
+	if len(nodes) == 0 {
+		nodes = DefaultOptions().ScaleNodes
+	}
+	for _, n := range nodes {
+		if n < 2 {
+			return fmt.Errorf("-scale-nodes %d: a sweep point needs at least 2 nodes", n)
+		}
+		spines, leaves, npl, ports := workload.ClosGeometry(n)
+		if err := myrinet.ClosCheck(spines, leaves, npl, ports); err != nil {
+			return fmt.Errorf("-scale-nodes %d: clos(%d spines, %d leaves, %d nodes/leaf, %d ports): %v",
+				n, spines, leaves, npl, ports, err)
+		}
+	}
+	return nil
+}
+
 // Scale regenerates the scaling sweep over opt.ScaleNodes (default
 // 64..1024). Every measurement is an isolated simulation, so the sweep
 // points fan out over the worker pool like any other experiment.
 func Scale(opt Options) *Report {
 	p := cost.Default()
+	pat, desc, err := scalePattern(opt.ScalePattern)
+	if err != nil {
+		panic(fmt.Sprintf("bench: scale: %v", err))
+	}
+	pname := opt.ScalePattern
+	if pname == "" {
+		pname = "all-to-all"
+	}
 	nodes := opt.ScaleNodes
 	if len(nodes) == 0 {
 		nodes = DefaultOptions().ScaleNodes
@@ -72,7 +124,7 @@ func Scale(opt Options) *Report {
 		i, n := i, n
 		jobs = append(jobs,
 			func() {
-				res := workload.DriveRawSharded(scaleSpec(n), p, workload.AllToAll{Rounds: 1}, size, shards)
+				res := workload.DriveRawSharded(scaleSpec(n), p, pat, size, shards)
 				a2a[i] = rawRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed), hops: res.MeanHops}
 			},
 			func() {
@@ -80,7 +132,7 @@ func Scale(opt Options) *Report {
 				bis[i] = rawRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed)}
 			},
 			func() {
-				res := workload.DriveFMSharded(scaleSpec(n), core.DefaultConfig(), p, workload.AllToAll{Rounds: 1}, size, shards)
+				res := workload.DriveFMSharded(scaleSpec(n), core.DefaultConfig(), p, pat, size, shards)
 				fm[i] = fmRes{bw: metrics.Bandwidth(size, res.Messages, res.Elapsed), elapsed: res.Elapsed}
 				fmShards[i] = res.Shards
 			},
@@ -94,20 +146,24 @@ func Scale(opt Options) *Report {
 	for i, n := range nodes {
 		g, groups := workload.Geometry(n)
 		r.KVs = append(r.KVs,
-			KV{fmt.Sprintf("N=%4d raw all-to-all agg. BW (MB/s)", n), fmt.Sprintf("%.0f", a2a[i].bw),
+			KV{fmt.Sprintf("N=%4d raw %s agg. BW (MB/s)", n, pname), fmt.Sprintf("%.0f", a2a[i].bw),
 				fmt.Sprintf("%d leaves x %d nodes", groups, g)},
-			KV{fmt.Sprintf("N=%4d raw all-to-all mean hops", n), fmt.Sprintf("%.2f", a2a[i].hops), "-"},
+			KV{fmt.Sprintf("N=%4d raw %s mean hops", n, pname), fmt.Sprintf("%.2f", a2a[i].hops), "-"},
 			KV{fmt.Sprintf("N=%4d raw bisection BW (MB/s)", n), fmt.Sprintf("%.0f", bis[i].bw), "full bisection"},
-			KV{fmt.Sprintf("N=%4d FM all-to-all completion (ms)", n), ms(fm[i].elapsed), "-"},
+			KV{fmt.Sprintf("N=%4d FM %s completion (ms)", n, pname), ms(fm[i].elapsed), "-"},
 			KV{fmt.Sprintf("N=%4d FM delivered payload BW (MB/s)", n), fmt.Sprintf("%.1f", fm[i].bw), "-"},
 		)
 	}
 
 	linkMBps := float64(sim.Second/p.LinkByte) / metrics.MiB
+	fmVolume := "N*(N-1) messages"
+	if pname == "neighbor" {
+		fmVolume = "32*N messages"
+	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("every fabric is a full-bisection 2-level Clos (spines = leaves); raw link rate %.0f MB/s per cable", linkMBps),
-		"raw points: one all-to-all round and 32 bisection packets per node, no host stack",
-		"FM points: one all-to-all round (N*(N-1) messages) through the complete FM 1.0 layer on every node",
+		fmt.Sprintf("raw points: %s and 32 bisection packets per node, no host stack", desc),
+		fmt.Sprintf("FM points: %s (%s) through the complete FM 1.0 layer on every node", desc, fmVolume),
 	)
 	if shards > 1 {
 		r.Notes = append(r.Notes, fmt.Sprintf(

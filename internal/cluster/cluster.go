@@ -27,6 +27,64 @@ type Hardware struct {
 	Buses []*sbus.Bus
 	CPUs  []*host.CPU
 	Devs  []*lanai.Device
+
+	// stacks holds each node's arena-allocated object set so newFMOn
+	// can place the endpoint and control program in the same nodeStack
+	// the hardware layers came from.
+	stacks []*nodeStack
+}
+
+// nodeStack is the complete per-node object set, allocated as one unit
+// from a chunked arena: a 16k-node cluster then makes ~n/stackChunk
+// allocations for stack headers instead of 5n separate ones, and each
+// node's hot structures share cache lines. Ownership rules: the arena
+// chunk is owned by the cluster (Hardware or ShardedFM) that allocated
+// it and lives exactly as long as the cluster; callers only ever see
+// the ordinary *Bus/*CPU/... pointers, which alias into the chunk and
+// must not outlive the cluster — the same lifetime contract the
+// individually-allocated objects already had in practice, since every
+// one of them pins the cluster's kernel anyway.
+type nodeStack struct {
+	bus sbus.Bus
+	cpu host.CPU
+	dev lanai.Device
+	ep  core.Endpoint
+	lcp lcp.LCP
+}
+
+// stackChunk caps the arena granularity: large enough to amortize
+// allocation at scale, while newStackArena clamps the chunk to the
+// cluster's node count so tiny clusters don't overcommit (a nodeStack
+// is tens of KB; a 16-node soak must not pay for 512).
+const stackChunk = 512
+
+// stackArena hands out nodeStacks from chunked slabs.
+type stackArena struct {
+	size  int
+	chunk []nodeStack
+	next  int
+}
+
+// newStackArena sizes an arena for a cluster of n nodes.
+func newStackArena(n int) stackArena {
+	size := n
+	if size > stackChunk {
+		size = stackChunk
+	}
+	if size < 1 {
+		size = 1
+	}
+	return stackArena{size: size}
+}
+
+func (a *stackArena) alloc() *nodeStack {
+	if a.next == len(a.chunk) {
+		a.chunk = make([]nodeStack, a.size)
+		a.next = 0
+	}
+	st := &a.chunk[a.next]
+	a.next++
+	return st
 }
 
 // NewHardware builds n nodes on a single crossbar with the given port
@@ -45,11 +103,14 @@ func NewHardwareOnFabric(k *sim.Kernel, p *cost.Params, fab *myrinet.Fabric, qc 
 
 func attach(k *sim.Kernel, p *cost.Params, fab *myrinet.Fabric, qc lanai.QueueConfig) *Hardware {
 	h := &Hardware{K: k, P: p, Fab: fab}
+	arena := newStackArena(fab.Nodes())
 	for i := 0; i < fab.Nodes(); i++ {
-		bus := sbus.New(k, p, fmt.Sprintf("sbus%d", i))
+		st := arena.alloc()
+		bus := sbus.NewAt(&st.bus, k, p, fmt.Sprintf("sbus%d", i))
 		h.Buses = append(h.Buses, bus)
-		h.CPUs = append(h.CPUs, host.New(k, p, bus, i))
-		h.Devs = append(h.Devs, lanai.New(k, p, bus, fab, i, qc))
+		h.CPUs = append(h.CPUs, host.NewAt(&st.cpu, k, p, bus, i))
+		h.Devs = append(h.Devs, lanai.NewAt(&st.dev, k, p, bus, fab, i, qc))
+		h.stacks = append(h.stacks, st)
 	}
 	return h
 }
@@ -110,8 +171,9 @@ func NewFMClos(spines, leaves, nodesPerLeaf, ports int, cfg core.Config, p *cost
 func newFMOn(hw *Hardware, cfg core.Config) *FM {
 	c := &FM{Hardware: hw, Cfg: cfg}
 	for i := range hw.Devs {
-		c.EPs = append(c.EPs, core.New(hw.CPUs[i], hw.Devs[i], cfg, hw.P))
-		c.LCPs = append(c.LCPs, lcp.Start(hw.Devs[i], cfg.LCPOptions(hw.P)))
+		st := hw.stacks[i]
+		c.EPs = append(c.EPs, core.NewAt(&st.ep, hw.CPUs[i], hw.Devs[i], cfg, hw.P))
+		c.LCPs = append(c.LCPs, lcp.StartAt(&st.lcp, hw.Devs[i], cfg.LCPOptions(hw.P)))
 	}
 	return c
 }
@@ -181,15 +243,17 @@ func NewFMShardedFrom(build func(*sim.Kernel, *cost.Params) *myrinet.Fabric, cfg
 		LCPs:  make([]*lcp.LCP, n),
 	}
 	qc := cfg.Queues(p)
+	arena := newStackArena(n)
 	for id := 0; id < n; id++ {
 		s := part.NodeShard[id]
 		k := g.Shard(s).Kernel()
-		bus := sbus.New(k, p, fmt.Sprintf("sbus%d", id))
-		cpu := host.New(k, p, bus, id)
-		dev := lanai.New(k, p, bus, fabs[s], id, qc)
+		st := arena.alloc()
+		bus := sbus.NewAt(&st.bus, k, p, fmt.Sprintf("sbus%d", id))
+		cpu := host.NewAt(&st.cpu, k, p, bus, id)
+		dev := lanai.NewAt(&st.dev, k, p, bus, fabs[s], id, qc)
 		c.Buses[id], c.CPUs[id], c.Devs[id] = bus, cpu, dev
-		c.EPs[id] = core.New(cpu, dev, cfg, p)
-		c.LCPs[id] = lcp.Start(dev, cfg.LCPOptions(p))
+		c.EPs[id] = core.NewAt(&st.ep, cpu, dev, cfg, p)
+		c.LCPs[id] = lcp.StartAt(&st.lcp, dev, cfg.LCPOptions(p))
 	}
 	return c, nil
 }

@@ -84,7 +84,13 @@ type Endpoint struct {
 // New creates the endpoint for one node. The caller starts the matching
 // control program with lcp.Start(dev, cfg.LCPOptions(p)).
 func New(cpu *host.CPU, dev *lanai.Device, cfg Config, p *cost.Params) *Endpoint {
-	return &Endpoint{
+	return NewAt(new(Endpoint), cpu, dev, cfg, p)
+}
+
+// NewAt is New in caller-provided storage (the cluster layer's per-node
+// stack arena).
+func NewAt(ep *Endpoint, cpu *host.CPU, dev *lanai.Device, cfg Config, p *cost.Params) *Endpoint {
+	*ep = Endpoint{
 		cpu:         cpu,
 		dev:         dev,
 		cfg:         cfg,
@@ -100,6 +106,7 @@ func New(cpu *host.CPU, dev *lanai.Device, cfg Config, p *cost.Params) *Endpoint
 		pendingAcks: make(map[int][]uint64),
 		seen:        make(map[int]map[uint64]bool),
 	}
+	return ep
 }
 
 // NodeID returns this endpoint's node number.

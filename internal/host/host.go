@@ -30,7 +30,15 @@ type CPU struct {
 
 // New creates a CPU for node id on the given bus.
 func New(k *sim.Kernel, p *cost.Params, bus *sbus.Bus, id int) *CPU {
-	return &CPU{ID: id, K: k, P: p, Bus: bus}
+	return NewAt(new(CPU), k, p, bus, id)
+}
+
+// NewAt initializes a CPU in caller-provided storage and returns it —
+// the in-place form New wraps, used by the cluster layer's per-node
+// stack arena.
+func NewAt(c *CPU, k *sim.Kernel, p *cost.Params, bus *sbus.Bus, id int) *CPU {
+	*c = CPU{ID: id, K: k, P: p, Bus: bus}
+	return c
 }
 
 // Start spawns the application process. It panics if one is already

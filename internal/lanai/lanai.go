@@ -140,10 +140,16 @@ type Device struct {
 // New builds a device, attaches it to the fabric as node id's sink, and
 // verifies the queue geometry fits LANai memory.
 func New(k *sim.Kernel, p *cost.Params, bus *sbus.Bus, fab *myrinet.Fabric, id int, cfg QueueConfig) *Device {
+	return NewAt(new(Device), k, p, bus, fab, id, cfg)
+}
+
+// NewAt is New in caller-provided storage (the cluster layer's per-node
+// stack arena): same checks, same fabric attachment.
+func NewAt(d *Device, k *sim.Kernel, p *cost.Params, bus *sbus.Bus, fab *myrinet.Fabric, id int, cfg QueueConfig) *Device {
 	if fp := cfg.lanaiFootprint(); fp > MemoryBytes {
 		panic(fmt.Sprintf("lanai: queue config needs %d bytes, exceeds %d KB card memory", fp, MemoryBytes>>10))
 	}
-	d := &Device{
+	*d = Device{
 		ID: id, K: k, P: p, Bus: bus, Fab: fab, Cfg: cfg,
 		SendQ:         ring.New[*myrinet.Packet](fmt.Sprintf("lanai%d.send", id), cfg.SendSlots),
 		RecvQ:         ring.New[*myrinet.Packet](fmt.Sprintf("lanai%d.recv", id), cfg.RecvSlots),

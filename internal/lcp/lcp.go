@@ -84,7 +84,14 @@ type LCP struct {
 
 // Start spawns the control program process on d.
 func Start(d *lanai.Device, o Options) *LCP {
-	l := &LCP{d: d, o: o}
+	return StartAt(new(LCP), d, o)
+}
+
+// StartAt is Start in caller-provided storage (the cluster layer's
+// per-node stack arena): the control-program process spawns on the
+// device's kernel exactly as Start does.
+func StartAt(l *LCP, d *lanai.Device, o Options) *LCP {
+	*l = LCP{d: d, o: o}
 	d.K.Spawn(fmt.Sprintf("lcp%d", d.ID), l.run)
 	return l
 }

@@ -50,10 +50,13 @@ func (s *Switch) OutputUtilization(i int) float64 { return s.ports[i].Utilizatio
 // through. Routes carry indices, not *Switch pointers, so a route
 // resolved on one shard's fabric replica is valid on every other
 // shard's (sharded runs build one Fabric per shard from the same
-// topology).
+// topology). The fields are byte-packed — 8 bytes per hop instead of
+// 16 — because cached BFS routes are the dominant per-pair state on
+// large fabrics; Topology.Validate rejects geometries that overflow
+// the packed widths (2^32 switches, 2^16 ports per switch).
 type hop struct {
-	sw   int
-	port int
+	sw   uint32
+	port uint16
 }
 
 // Stats aggregates fabric-level traffic counters. Packet counts are
@@ -190,6 +193,9 @@ func NewCrossbar(k *sim.Kernel, p *cost.Params, n, ports int) *Fabric {
 	for i := 0; i < n; i++ {
 		t.AttachNode(sw, i)
 	}
+	// A crossbar is the degenerate one-leaf Clos: every route is the
+	// single delivery hop, so the formulaic fast path applies.
+	t.form = &closForm{leaves: 1, spines: 0, npl: n}
 	return NewFabric(k, p, t)
 }
 
@@ -345,7 +351,7 @@ func (f *Fabric) forward(p *Packet, route []hop, i int, eligible sim.Time, wire 
 	for {
 		h := route[i]
 		if f.part != nil && f.part.SwitchShard[h.sw] != f.shard {
-			p.xsw = h.sw
+			p.xsw = int(h.sw)
 			f.stats.CrossPosted++
 			f.post(f.part.SwitchShard[h.sw], eligible, p)
 			return
@@ -355,14 +361,14 @@ func (f *Fabric) forward(p *Packet, route []hop, i int, eligible sim.Time, wire 
 			// each hop: forward schedules the whole walk at inject time,
 			// so a component that dies while the worm is mid-flight must
 			// be caught by the timeline, not by current state.
-			if fs.switchDownAt(h.sw, eligible) {
-				f.faultTurn(p, h.sw, eligible)
+			if fs.switchDownAt(int(h.sw), eligible) {
+				f.faultTurn(p, int(h.sw), eligible)
 				return
 			}
 			if li := fs.portLink[h.sw][h.port]; li >= 0 {
 				next := f.topo.links[li].to
 				if fs.linkDownAt(li, eligible) || fs.switchDownAt(next, eligible) {
-					f.faultTurn(p, h.sw, eligible)
+					f.faultTurn(p, int(h.sw), eligible)
 					return
 				}
 				if !p.Bounced {
@@ -371,7 +377,7 @@ func (f *Fabric) forward(p *Packet, route []hop, i int, eligible sim.Time, wire 
 					// a fault can never silently strand a packet.
 					if fs.lossAt(li, eligible) {
 						fs.stats.Lost++
-						f.faultTurn(p, h.sw, eligible)
+						f.faultTurn(p, int(h.sw), eligible)
 						return
 					}
 					if fs.corruptAt(li, eligible) && !p.Corrupt {

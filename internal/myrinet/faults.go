@@ -51,6 +51,15 @@ type faultState struct {
 	// every recovery toggle retries them in arrival order.
 	stranded []strandedPkt
 
+	// routeStarts/routeEnds are the sorted boundary instants of every
+	// link and switch window (the classes that change the routable
+	// graph). routingQuiet counts boundaries at the mapper's lagged
+	// view with two binary searches, so the formulaic fast path can ask
+	// "is any routing-relevant window active?" in O(log windows)
+	// without touching per-component state.
+	routeStarts []sim.Time
+	routeEnds   []sim.Time
+
 	// k is the owning replica's kernel: the router consults it for the
 	// current instant when filtering down components.
 	k *sim.Kernel
@@ -244,6 +253,16 @@ func (f *Fabric) ApplyFaults(ws []FaultWindow) {
 			sort.Slice(wins, func(i, j int) bool { return wins[i].start < wins[j].start })
 		}
 	}
+	for _, per := range [][][]window{fs.link, fs.swtch} {
+		for _, wins := range per {
+			for _, w := range wins {
+				fs.routeStarts = append(fs.routeStarts, w.start)
+				fs.routeEnds = append(fs.routeEnds, w.end)
+			}
+		}
+	}
+	sort.Slice(fs.routeStarts, func(i, j int) bool { return fs.routeStarts[i] < fs.routeStarts[j] })
+	sort.Slice(fs.routeEnds, func(i, j int) bool { return fs.routeEnds[i] < fs.routeEnds[j] })
 	f.faults = fs
 	f.router.fs = fs
 
@@ -364,4 +383,20 @@ func (fs *faultState) linkDownNow(li int) bool {
 }
 func (fs *faultState) switchDownNow(sw int) bool {
 	return at(fs.swtch[sw], fs.k.Now().Add(-DetectLag))
+}
+
+// routingQuiet reports whether, at the mapper's lagged view (DetectLag
+// ago), no link or switch window is active — the condition under which
+// the formulaic fast path is provably identical to BFS. A window
+// counts as active over the closed interval [start, end]: including
+// the end instant keeps the boundary on the BFS side at the recovery
+// toggle, so route resolutions racing the same-instant cache flush see
+// exactly the PR 7 cache semantics. Quietness is a pure function of
+// Now() and flips only at the toggle instants, so the fast-path/BFS
+// choice can never disagree within an inter-toggle interval.
+func (fs *faultState) routingQuiet() bool {
+	v := fs.k.Now().Add(-DetectLag)
+	begun := sort.Search(len(fs.routeStarts), func(i int) bool { return fs.routeStarts[i] > v })
+	over := sort.Search(len(fs.routeEnds), func(i int) bool { return fs.routeEnds[i] >= v })
+	return begun == over
 }

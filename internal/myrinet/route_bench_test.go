@@ -1,0 +1,54 @@
+package myrinet
+
+import (
+	"testing"
+
+	"fm/internal/cost"
+	"fm/internal/sim"
+)
+
+// Route-resolution cost on the scale experiment's clos-1024 geometry
+// (32 spines x 32 leaves x 32 nodes/leaf, 64-port switches — the same
+// shape workload.ClosGeometry derives for 1024 nodes). The pair walk
+// covers every (source switch, destination) combination before
+// repeating, so each BFS iteration is a cold cache miss — the cost the
+// demand cache paid on first touch for all switches*nodes pairs, which
+// at 16k nodes was the scale ceiling. The formulaic path resolves the
+// same routes with no cache entry and no allocation at all.
+
+func benchClos1024() *Fabric {
+	return NewClos(sim.NewKernel(), cost.Default(), 32, 32, 32, 64)
+}
+
+func benchPair(f *Fabric, i int) (srcSw, dst int) {
+	n := f.Nodes()
+	return (i / n) % f.NumSwitches(), i % n
+}
+
+func BenchmarkRouteResolve(b *testing.B) {
+	f := benchClos1024()
+	if f.topo.form == nil {
+		b.Fatal("clos fabric did not set the structured form")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcSw, dst := benchPair(f, i)
+		if rt := f.router.routeFrom(srcSw, dst); len(rt) == 0 {
+			b.Fatalf("no route from switch %d to node %d", srcSw, dst)
+		}
+	}
+}
+
+func BenchmarkRouteResolveBFS(b *testing.B) {
+	f := benchClos1024()
+	f.topo.form = nil // force the demand-cached BFS path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcSw, dst := benchPair(f, i)
+		if rt := f.router.routeFrom(srcSw, dst); len(rt) == 0 {
+			b.Fatalf("no route from switch %d to node %d", srcSw, dst)
+		}
+	}
+}

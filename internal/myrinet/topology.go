@@ -21,6 +21,27 @@ type Topology struct {
 	switches []switchSpec
 	nodes    []attach // node id -> delivery point
 	links    []link
+
+	// form, when non-nil, declares that this topology is a structured
+	// two-level folded Clos (or its one-leaf crossbar degenerate) built
+	// by the canned constructors, enabling the formulaic routing fast
+	// path (see router.formRoute). Hand-built topologies leave it nil
+	// and always route by BFS.
+	form *closForm
+}
+
+// closForm captures the closed-form geometry of a NewClos fabric: leaf
+// switches are topology indices 0..leaves-1 (node id l*npl+j attached
+// at leaf l port j), spine s is index leaves+s, leaf l reaches spine s
+// through port npl+s, and spine s reaches leaf l through port l. Every
+// shortest route is a pure function of (source switch, destination):
+// the spine choice dst%spines reproduces the BFS candidate pick
+// cands[dst%len(cands)] because the candidate trunks are port-ordered
+// and all spines are equidistant on a healthy fabric.
+type closForm struct {
+	leaves int
+	spines int
+	npl    int // nodes per leaf
 }
 
 type switchSpec struct {
@@ -64,9 +85,27 @@ func (t *Topology) Link(from, port, to int) {
 	t.links = append(t.links, link{from: from, port: port, to: to})
 }
 
-// Validate checks structural consistency: indices in range and no output
-// port claimed twice (by two links, two nodes, or a link and a node).
+// maxPackedPorts and maxPackedSwitches are the widths the packed hop
+// representation can address (port uint16, switch uint32). Validate
+// enforces them so a route can never truncate an index.
+const (
+	maxPackedPorts    = 1 << 16
+	maxPackedSwitches = 1 << 32
+)
+
+// Validate checks structural consistency: indices in range, no output
+// port claimed twice (by two links, two nodes, or a link and a node),
+// and every index within the packed-route widths.
 func (t *Topology) Validate() error {
+	if uint64(len(t.switches)) > maxPackedSwitches {
+		return fmt.Errorf("myrinet: %d switches exceed the packed-route limit %d", len(t.switches), maxPackedSwitches)
+	}
+	for _, s := range t.switches {
+		if s.ports > maxPackedPorts {
+			return fmt.Errorf("myrinet: %s has %d ports, exceeding the packed-route limit %d",
+				s.name, s.ports, maxPackedPorts)
+		}
+	}
 	used := map[[2]int]string{}
 	claim := func(sw, port int, what string) error {
 		if sw < 0 || sw >= len(t.switches) {
@@ -132,6 +171,13 @@ type router struct {
 	distTo  map[int][]int
 	cache   map[[2]int][]hop // (src switch, dst node) -> route (nil = unreachable)
 	scratch []adj            // candidate buffer reused across lookups
+
+	// formBuf backs formulaic fast-path routes (at most 3 hops on a
+	// two-level Clos). Reusing one buffer is safe because every resolved
+	// route is fully consumed before the next resolution: forward walks
+	// its route synchronously, every faultTurn call site returns without
+	// re-reading the outer route, and Fabric.Route copies.
+	formBuf [3]hop
 
 	// fs is the fabric's fault state; nil on a fault-free fabric. When
 	// set, distance maps and candidate selection skip components that
@@ -226,8 +272,14 @@ func (r *router) checkConnected() {
 
 // hintRoutes re-seeds the (still empty) route cache with capacity for n
 // entries. Callers know the workload's reach (workload geometry: nodes,
-// switches, message count); the router itself cannot guess it.
+// switches, message count); the router itself cannot guess it. On a
+// fault-free structured fabric the formulaic fast path serves every
+// resolution, so there is nothing to cache and the hint is dropped —
+// at 16k nodes the pre-sized map alone would be hundreds of MB.
 func (r *router) hintRoutes(n int) {
+	if r.t.form != nil && r.fs == nil {
+		return
+	}
 	if len(r.cache) == 0 && n > 0 {
 		r.cache = make(map[[2]int][]hop, n)
 	}
@@ -302,6 +354,15 @@ func (r *router) route(src, dst int) []hop {
 // continuations and fault bounces re-resolve from their current switch
 // without carrying the original route along.
 func (r *router) routeFrom(srcSw, dst int) []hop {
+	if fm := r.t.form; fm != nil && (r.fs == nil || r.fs.routingQuiet()) {
+		// Structured fabric with no link/switch outage in the mapper's
+		// current view: the route is a closed-form function of
+		// (srcSw, dst) — no BFS, no cache entry, no allocation. Under
+		// an active window the BFS path below remains the only one, so
+		// fault semantics (detection lag, cache invalidation at
+		// toggles, rerouting over the healthy subgraph) are untouched.
+		return r.formRoute(fm, srcSw, dst)
+	}
 	da := r.t.nodes[dst]
 	key := [2]int{srcSw, dst}
 	if rt, ok := r.cache[key]; ok {
@@ -330,12 +391,38 @@ func (r *router) routeFrom(srcSw, dst int) []hop {
 		}
 		pick := cands[dst%len(cands)]
 		r.scratch = cands[:0]
-		route = append(route, hop{sw: pick.from, port: pick.port})
+		route = append(route, hop{sw: uint32(pick.from), port: uint16(pick.port)})
 		cur = pick.to
 	}
-	route = append(route, hop{sw: da.sw, port: da.port})
+	route = append(route, hop{sw: uint32(da.sw), port: uint16(da.port)})
 	r.cache[key] = route
 	return route
+}
+
+// formRoute computes the source route on a structured fabric without
+// BFS: same-leaf traffic is the single delivery hop; cross-leaf traffic
+// goes up to spine dst%spines and down to the destination leaf; a
+// resolution starting at a spine (cross-shard continuations, fault
+// bounces after recovery) is the down-hop suffix. Each shape is exactly
+// the route the BFS path resolves on a healthy fabric — the property
+// test in route_form_test.go holds them equal pairwise. The returned
+// slice aliases r.formBuf; callers consume it before the next
+// resolution (see the formBuf field comment).
+func (r *router) formRoute(fm *closForm, srcSw, dst int) []hop {
+	da := r.t.nodes[dst]
+	buf := r.formBuf[:0]
+	if srcSw != da.sw {
+		if srcSw >= fm.leaves {
+			// Starting at a spine: one trunk down to the delivery leaf.
+			buf = append(buf, hop{sw: uint32(srcSw), port: uint16(da.sw)})
+		} else {
+			s := dst % fm.spines
+			buf = append(buf,
+				hop{sw: uint32(srcSw), port: uint16(fm.npl + s)},
+				hop{sw: uint32(fm.leaves + s), port: uint16(da.sw)})
+		}
+	}
+	return append(buf, hop{sw: uint32(da.sw), port: uint16(da.port)})
 }
 
 // NewClos builds a 2-level folded-Clos (fat-tree) fabric: `leaves` leaf
@@ -352,15 +439,8 @@ func (r *router) routeFrom(srcSw, dst int) []hop {
 // multistage fabric real Myrinet installations scaled to beyond the
 // paper's single 8-port crossbar.
 func NewClos(k *sim.Kernel, p *cost.Params, spines, leaves, nodesPerLeaf, ports int) *Fabric {
-	if spines < 1 || leaves < 1 || nodesPerLeaf < 1 {
-		panic("myrinet: Clos dimensions must be positive")
-	}
-	if nodesPerLeaf+spines > ports {
-		panic(fmt.Sprintf("myrinet: leaf needs %d ports (%d nodes + %d spines), has %d",
-			nodesPerLeaf+spines, nodesPerLeaf, spines, ports))
-	}
-	if leaves > ports {
-		panic(fmt.Sprintf("myrinet: spine needs %d ports for %d leaves, has %d", leaves, leaves, ports))
+	if err := ClosCheck(spines, leaves, nodesPerLeaf, ports); err != nil {
+		panic(err.Error())
 	}
 	t := NewTopology()
 	leafIdx := make([]int, leaves)
@@ -380,5 +460,30 @@ func NewClos(k *sim.Kernel, p *cost.Params, spines, leaves, nodesPerLeaf, ports 
 			t.Link(spineIdx[s], l, leafIdx[l])
 		}
 	}
+	t.form = &closForm{leaves: leaves, spines: spines, npl: nodesPerLeaf}
 	return NewFabric(k, p, t)
+}
+
+// ClosCheck reports whether a Clos geometry can be built: positive
+// dimensions, enough switch ports for the leaf fan-out (local nodes
+// plus spine trunks) and the spine fan-out, and port counts within the
+// packed-route width. NewClos panics on exactly these conditions;
+// callers that derive geometry from a user-supplied node count (the
+// scale sweep) use ClosCheck to reject a bad point before any earlier
+// sweep point has burned wall-clock time.
+func ClosCheck(spines, leaves, nodesPerLeaf, ports int) error {
+	if spines < 1 || leaves < 1 || nodesPerLeaf < 1 {
+		return fmt.Errorf("myrinet: Clos dimensions must be positive")
+	}
+	if nodesPerLeaf+spines > ports {
+		return fmt.Errorf("myrinet: leaf needs %d ports (%d nodes + %d spines), has %d",
+			nodesPerLeaf+spines, nodesPerLeaf, spines, ports)
+	}
+	if leaves > ports {
+		return fmt.Errorf("myrinet: spine needs %d ports for %d leaves, has %d", leaves, leaves, ports)
+	}
+	if ports > maxPackedPorts {
+		return fmt.Errorf("myrinet: %d ports per switch exceed the packed-route limit %d", ports, maxPackedPorts)
+	}
+	return nil
 }

@@ -34,7 +34,15 @@ type Bus struct {
 
 // New creates a bus for one node.
 func New(k *sim.Kernel, p *cost.Params, name string) *Bus {
-	return &Bus{k: k, p: p, res: sim.NewResource(k, name)}
+	return NewAt(new(Bus), k, p, name)
+}
+
+// NewAt initializes a bus in caller-provided storage and returns it.
+// The cluster layer allocates each node's full stack from a chunked
+// arena (cluster.nodeStack); NewAt is the in-place form New wraps.
+func NewAt(b *Bus, k *sim.Kernel, p *cost.Params, name string) *Bus {
+	*b = Bus{k: k, p: p, res: sim.NewResource(k, name)}
+	return b
 }
 
 // Stats returns a copy of the traffic counters.

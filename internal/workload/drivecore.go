@@ -25,20 +25,52 @@ func sendSize(s Send, def int) int {
 	return def
 }
 
-// genAll generates every rank's sends once and accumulates the shared
+// sendSeq is one rank's send sequence: a materialized slice for plain
+// patterns, or an index-addressed view over a StreamingPattern that
+// computes each send on demand. Drivers iterate it by index, so the
+// streamed form never holds more than one Send at a time.
+type sendSeq struct {
+	list []Send
+	sp   StreamingPattern // non-nil selects the streamed form
+	src  int
+	n    int
+	ln   int
+}
+
+// Len returns the number of sends in the sequence.
+func (q sendSeq) Len() int { return q.ln }
+
+// At returns the j-th send.
+func (q sendSeq) At(j int) Send {
+	if q.sp != nil {
+		return q.sp.SendAt(q.src, q.n, j)
+	}
+	return q.list[j]
+}
+
+// genSeqs binds every rank's send sequence and accumulates the shared
 // totals: message count, payload bytes, per-rank receive counts, and
-// the buffer size the drivers need.
-func genAll(pat Pattern, n, def int) (sends [][]Send, messages int, bytes int64, expect []int, maxSize int) {
-	sends = make([][]Send, n)
+// the buffer size the drivers need. Streaming patterns are walked
+// without materializing; everything else expands through Gen exactly
+// as before.
+func genSeqs(pat Pattern, n, def int) (sends []sendSeq, messages int, bytes int64, expect []int, maxSize int) {
+	sends = make([]sendSeq, n)
 	expect = make([]int, n)
 	maxSize = def
+	sp, _ := pat.(StreamingPattern)
 	for src := 0; src < n; src++ {
-		sends[src] = pat.Gen(src, n)
-		messages += len(sends[src])
-		for _, s := range sends[src] {
-			sz := sendSize(s, def)
+		if sp != nil {
+			sends[src] = sendSeq{sp: sp, src: src, n: n, ln: sp.RankLen(src, n)}
+		} else {
+			list := pat.Gen(src, n)
+			sends[src] = sendSeq{list: list, ln: len(list)}
+		}
+		q := sends[src]
+		messages += q.Len()
+		for j := 0; j < q.Len(); j++ {
+			sz := sendSize(q.At(j), def)
 			bytes += int64(sz)
-			expect[s.Dst]++
+			expect[q.At(j).Dst]++
 			if sz > maxSize {
 				maxSize = sz
 			}
@@ -49,28 +81,30 @@ func genAll(pat Pattern, n, def int) (sends [][]Send, messages int, bytes int64,
 
 // meanHops computes the pattern's mean switch-crossing count on the
 // fabric: pure routing-table arithmetic, no virtual time.
-func meanHops(f *myrinet.Fabric, sends [][]Send, messages int) float64 {
+func meanHops(f *myrinet.Fabric, sends []sendSeq, messages int) float64 {
 	if messages == 0 {
 		return 0
 	}
 	hops := 0
-	for src, list := range sends {
-		for _, s := range list {
-			hops += f.Hops(src, s.Dst)
+	for src := range sends {
+		q := sends[src]
+		for j := 0; j < q.Len(); j++ {
+			hops += f.Hops(src, q.At(j).Dst)
 		}
 	}
 	return float64(hops) / float64(messages)
 }
 
-// prepare is the prologue every driver runs before simulating: expand
-// the pattern, fill the result's totals, hint the route caches of every
-// fabric replica, and account topological hops. The returned send lists
-// are in canonical rank order; expect is the per-rank receive count.
-func prepare(spec FabricSpec, pat Pattern, size int, fabs ...*myrinet.Fabric) (res Result, sends [][]Send, expect []int, maxSize int) {
+// prepare is the prologue every driver runs before simulating: bind
+// the pattern's per-rank sequences, fill the result's totals, hint the
+// route caches of every fabric replica, and account topological hops.
+// The returned sequences are in canonical rank order; expect is the
+// per-rank receive count.
+func prepare(spec FabricSpec, pat Pattern, size int, fabs ...*myrinet.Fabric) (res Result, sends []sendSeq, expect []int, maxSize int) {
 	n := fabs[0].Nodes()
 	res = Result{Pattern: pat.Name(), Fabric: spec.Name}
 	var messages int
-	sends, messages, res.PayloadBytes, expect, maxSize = genAll(pat, n, size)
+	sends, messages, res.PayloadBytes, expect, maxSize = genSeqs(pat, n, size)
 	res.Messages = messages
 	hint := spec.RouteHint(n, messages)
 	for _, f := range fabs {
@@ -121,7 +155,7 @@ func waitUntil(ep *core.Endpoint, at sim.Duration) {
 // late (a standalone ack, a strand released at a recovery) are requeued
 // and resent rather than rotting in the receive queue while their
 // original target spins forever.
-func fmRank(ep *core.Endpoint, sends []Send, expect, size int, buf []byte,
+func fmRank(ep *core.Endpoint, sends sendSeq, expect, size int, buf []byte,
 	lat *stats.Histogram, last *sim.Time, settleAt sim.Time) {
 	got := 0
 	ep.RegisterHandler(0, func(src int, payload []byte) {
@@ -135,7 +169,8 @@ func fmRank(ep *core.Endpoint, sends []Send, expect, size int, buf []byte,
 			lat.Record(ep.Now().Sub(at))
 		}
 	})
-	for _, s := range sends {
+	for j := 0; j < sends.Len(); j++ {
+		s := sends.At(j)
 		if s.At > 0 {
 			waitUntil(ep, s.At)
 		}

@@ -86,17 +86,17 @@ type rawInjector struct {
 	dr    *rawDrive
 	hdr   int
 	src   int
-	sends []Send
+	sends sendSeq
 	next  int
 }
 
 func injectNext(a any) {
 	in := a.(*rawInjector)
-	if in.next >= len(in.sends) {
+	if in.next >= in.sends.Len() {
 		return
 	}
 	dr := in.dr
-	s := in.sends[in.next]
+	s := in.sends.At(in.next)
 	pkt := dr.f.NewPacket()
 	pkt.Src, pkt.Dst = in.src, s.Dst
 	pkt.Type = myrinet.Data
@@ -104,8 +104,8 @@ func injectNext(a any) {
 	pkt.HeaderBytes = in.hdr
 	in.next++
 	srcDone := dr.f.Inject(pkt)
-	if in.next < len(in.sends) {
-		if at := sim.Time(in.sends[in.next].At); at > srcDone {
+	if in.next < in.sends.Len() {
+		if at := sim.Time(in.sends.At(in.next).At); at > srcDone {
 			srcDone = at
 		}
 	}
@@ -130,8 +130,8 @@ func DriveRaw(spec FabricSpec, p *cost.Params, pat Pattern, size int) Result {
 	}
 	for src := 0; src < n; src++ {
 		var at sim.Time
-		if list := sends[src]; len(list) > 0 {
-			at = sim.Time(list[0].At)
+		if q := sends[src]; q.Len() > 0 {
+			at = sim.Time(q.At(0).At)
 		}
 		k.AtArg(at, injectNext, &rawInjector{dr: dr, hdr: p.FMHeaderBytes, src: src, sends: sends[src]})
 	}
@@ -205,7 +205,9 @@ func DriveMPI(spec FabricSpec, cfg core.Config, p *cost.Params, pat Pattern, siz
 				pending[i] = comm.Irecv(mpi.AnySource, mpi.AnyTag)
 			}
 			buf := slab[id*maxSize : (id+1)*maxSize]
-			for _, s := range sends[id] {
+			q := sends[id]
+			for j := 0; j < q.Len(); j++ {
+				s := q.At(j)
 				if s.At > 0 {
 					waitUntil(ep, s.At)
 				}

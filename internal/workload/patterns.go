@@ -28,6 +28,19 @@ func (a AllToAll) Gen(src, n int) []Send {
 	return out
 }
 
+// RankLen implements StreamingPattern.
+func (a AllToAll) RankLen(src, n int) int {
+	if a.Rounds <= 0 || n <= 1 {
+		return 0
+	}
+	return a.Rounds * (n - 1)
+}
+
+// SendAt implements StreamingPattern.
+func (a AllToAll) SendAt(src, n, j int) Send {
+	return Send{Dst: (src + j%(n-1) + 1) % n}
+}
+
 // Bisection pairs rank i with rank (i+n/2)%n: every packet crosses the
 // fabric's midline, the worst case for topologies without full
 // bisection bandwidth. The pairing needs an even rank count, so the
@@ -56,6 +69,12 @@ func (b Bisection) Gen(src, n int) []Send {
 	}
 	return out
 }
+
+// RankLen implements StreamingPattern.
+func (b Bisection) RankLen(src, n int) int { return b.Packets }
+
+// SendAt implements StreamingPattern.
+func (b Bisection) SendAt(src, n, j int) Send { return Send{Dst: (src + n/2) % n} }
 
 // UniformRandom sends Packets messages from every rank to destinations
 // drawn uniformly from the other n-1 ranks. Each rank's stream is a
@@ -129,6 +148,23 @@ func (t Tornado) Gen(src, n int) []Send {
 	return out
 }
 
+// RankLen implements StreamingPattern.
+func (t Tornado) RankLen(src, n int) int {
+	if n < 2 {
+		return 0
+	}
+	return t.Packets
+}
+
+// SendAt implements StreamingPattern.
+func (t Tornado) SendAt(src, n, j int) Send {
+	shift := (n+1)/2 - 1
+	if shift < 1 {
+		shift = 1
+	}
+	return Send{Dst: (src + shift) % n}
+}
+
 // Incast is the k-to-1 convergence pattern (the Discussion's hotspot):
 // every rank except Target sends Packets messages to Target. It is the
 // stress case for receiver-side flow control — under FM's
@@ -153,6 +189,17 @@ func (c Incast) Gen(src, n int) []Send {
 	return out
 }
 
+// RankLen implements StreamingPattern.
+func (c Incast) RankLen(src, n int) int {
+	if src == c.Target%n {
+		return 0
+	}
+	return c.Packets
+}
+
+// SendAt implements StreamingPattern.
+func (c Incast) SendAt(src, n, j int) Send { return Send{Dst: c.Target % n} }
+
 // Neighbor is the ring-shift/halo-exchange pattern: each round, every
 // rank sends one message to its left neighbor and one to its right
 // neighbor (in that order). With Wrap the ring closes; without it the
@@ -170,23 +217,62 @@ func (Neighbor) Name() string { return "neighbor" }
 
 // Gen implements Pattern.
 func (g Neighbor) Gen(src, n int) []Send {
-	left, right := src-1, src+1
+	left, right, hasL, hasR := g.ends(src, n)
+	var out []Send
+	for r := 0; r < g.Rounds; r++ {
+		if hasL {
+			out = append(out, Send{Dst: left, Size: g.Bytes})
+		}
+		if hasR {
+			out = append(out, Send{Dst: right, Size: g.Bytes})
+		}
+	}
+	return out
+}
+
+// ends resolves rank src's neighbors and whether each side exists
+// (boundary ranks without wrap miss one; tiny rings degenerate).
+func (g Neighbor) ends(src, n int) (left, right int, hasL, hasR bool) {
+	left, right = src-1, src+1
 	if g.Wrap {
 		left, right = (src+n-1)%n, (src+1)%n
 		if right == left {
 			right = src // 2-rank ring: one distinct neighbor, one send
 		}
 	}
-	var out []Send
-	for r := 0; r < g.Rounds; r++ {
-		if left >= 0 && left != src {
-			out = append(out, Send{Dst: left, Size: g.Bytes})
-		}
-		if right < n && right != src {
-			out = append(out, Send{Dst: right, Size: g.Bytes})
-		}
+	return left, right, left >= 0 && left != src, right < n && right != src
+}
+
+// RankLen implements StreamingPattern.
+func (g Neighbor) RankLen(src, n int) int {
+	if g.Rounds <= 0 {
+		return 0
 	}
-	return out
+	_, _, hasL, hasR := g.ends(src, n)
+	per := 0
+	if hasL {
+		per++
+	}
+	if hasR {
+		per++
+	}
+	return g.Rounds * per
+}
+
+// SendAt implements StreamingPattern.
+func (g Neighbor) SendAt(src, n, j int) Send {
+	left, right, hasL, hasR := g.ends(src, n)
+	per := 0
+	if hasL {
+		per++
+	}
+	if hasR {
+		per++
+	}
+	if hasL && j%per == 0 {
+		return Send{Dst: left, Size: g.Bytes}
+	}
+	return Send{Dst: right, Size: g.Bytes}
 }
 
 // Broadcast is the storm pattern: rank Root sends Rounds copies to
@@ -214,6 +300,23 @@ func (b Broadcast) Gen(src, n int) []Send {
 		}
 	}
 	return out
+}
+
+// RankLen implements StreamingPattern.
+func (b Broadcast) RankLen(src, n int) int {
+	if src != b.Root%n || b.Rounds <= 0 || n <= 1 {
+		return 0
+	}
+	return b.Rounds * (n - 1)
+}
+
+// SendAt implements StreamingPattern.
+func (b Broadcast) SendAt(src, n, j int) Send {
+	dst := j % (n - 1)
+	if dst >= src {
+		dst++ // per round, destinations ascend skipping the root itself
+	}
+	return Send{Dst: dst}
 }
 
 // splitMix64 is the SplitMix64 PRNG (Steele, Lea, Flood 2014): one

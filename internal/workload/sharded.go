@@ -87,8 +87,8 @@ func DriveRawSharded(spec FabricSpec, p *cost.Params, pat Pattern, size, shards 
 	for src := 0; src < n; src++ {
 		s := part.NodeShard[src]
 		var at sim.Time
-		if list := sends[src]; len(list) > 0 {
-			at = sim.Time(list[0].At)
+		if q := sends[src]; q.Len() > 0 {
+			at = sim.Time(q.At(0).At)
 		}
 		g.Shard(s).Kernel().AtArg(at, injectNext, &rawInjector{dr: drs[s], hdr: p.FMHeaderBytes, src: src, sends: sends[src]})
 	}

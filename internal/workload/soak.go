@@ -108,7 +108,7 @@ func (r *SoakResult) ReportWindows() int {
 // delivery recording, and retransmit-delta attribution after every
 // extract. Ranks on one kernel run as coroutines, so sharing one Series
 // is deterministic.
-func soakRank(ep *core.Endpoint, sends []Send, expect, size int, buf []byte,
+func soakRank(ep *core.Endpoint, sends sendSeq, expect, size int, buf []byte,
 	series *stats.Series, settleAt sim.Time) {
 	got := 0
 	var seenRetrans uint64
@@ -124,7 +124,8 @@ func soakRank(ep *core.Endpoint, sends []Send, expect, size int, buf []byte,
 			series.Delivery(ep.Now(), ep.Now().Sub(at), len(payload))
 		}
 	})
-	for _, s := range sends {
+	for j := 0; j < sends.Len(); j++ {
+		s := sends.At(j)
 		// Poll-wait to the scheduled arrival: unlike the batch drivers'
 		// blind waitUntil, an idle open-loop rank keeps extracting, so a
 		// lightly loaded receiver's sojourn reflects service latency and
@@ -179,8 +180,9 @@ func SoakDriveFM(spec FabricSpec, cfg core.Config, p *cost.Params, src Source, s
 	// The offered schedule is a property of the source alone — record
 	// it before the simulation so arrival windows never depend on how
 	// service unfolded.
-	for _, list := range sends {
-		for _, s := range list {
+	for _, q := range sends {
+		for j := 0; j < q.Len(); j++ {
+			s := q.At(j)
 			if sendSize(s, size) < 8 {
 				panic(fmt.Sprintf("workload: soak %s on %s: payload %d bytes cannot carry the arrival stamp",
 					src.Name(), spec.Name, sendSize(s, size)))

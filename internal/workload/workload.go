@@ -51,6 +51,27 @@ type Pattern interface {
 	Gen(src, n int) []Send
 }
 
+// StreamingPattern is an optional Pattern refinement for patterns whose
+// send lists are closed forms: rank src's j-th send is computable
+// directly, so drivers can stream each rank's traffic on demand instead
+// of materializing every rank's full list up front. At 16k-node
+// all-to-all the materialized lists alone are hundreds of millions of
+// Send values — streaming is what keeps the prologue's footprint flat.
+//
+// Implementations must agree exactly with Gen: RankLen(src, n) ==
+// len(Gen(src, n)) and SendAt(src, n, j) == Gen(src, n)[j] for every
+// valid j (streaming_test.go pins this for the whole catalog).
+// Sequentially-seeded patterns (UniformRandom, the soak Sources) stay
+// materialized: their j-th value depends on a PRNG prefix.
+type StreamingPattern interface {
+	Pattern
+	// RankLen returns the number of sends rank src issues, without
+	// materializing them.
+	RankLen(src, n int) int
+	// SendAt returns rank src's j-th send, 0 <= j < RankLen(src, n).
+	SendAt(src, n, j int) Send
+}
+
 // NodeAdjuster is an optional Pattern refinement for patterns that
 // cannot serve every job size. AdjustNodes rounds n up to the nearest
 // size the pattern supports (for example, bisection pairing needs an
